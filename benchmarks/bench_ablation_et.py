@@ -1,0 +1,105 @@
+"""Ablation: early-termination mechanisms and pruning-interval length.
+
+DESIGN.md calls out two tunables the paper discusses but does not sweep:
+
+* which ET level is on (none / block-only / WAND-only / both) — extends
+  Figure 13/14's two ablation points to the full 2x2;
+* the pruning-interval length in blocks (Section VI: "BOSS uses longer
+  intervals to minimize the delay between adjacent block load requests")
+  — longer intervals mean looser bounds but fewer metadata touches.
+
+Shape expectations: evaluated documents are monotone non-increasing as
+mechanisms are added; longer intervals evaluate at least as many
+documents but inspect no more metadata per skip.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import BossAccelerator, BossConfig
+
+from conftest import BENCH_K, emit_table
+
+ET_MODES = (
+    ("none", dict(et_block=False, et_wand=False)),
+    ("wand-only", dict(et_block=False, et_wand=True)),
+    ("block-only", dict(et_block=True, et_wand=False)),
+    ("both", dict(et_block=True, et_wand=True)),
+)
+INTERVALS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def union_queries(ccnews):
+    return [q for q in ccnews.queries if q.qtype in ("Q1", "Q3", "Q5")][:45]
+
+
+def _run_config(index, queries, **config_kwargs):
+    engine = BossAccelerator(
+        index, replace(BossConfig(k=BENCH_K), **config_kwargs)
+    )
+    evaluated = fetched = metadata = 0
+    for query in queries:
+        result = engine.search(query.expression)
+        evaluated += result.work.docs_evaluated
+        fetched += result.work.blocks_fetched
+        metadata += result.work.metadata_inspected
+    return {"evaluated": evaluated, "fetched": fetched,
+            "metadata": metadata}
+
+
+def test_ablation_et_modes(benchmark, ccnews, union_queries):
+    index = ccnews.corpus.index
+    engine = BossAccelerator(index, BossConfig(k=BENCH_K))
+    benchmark(lambda: engine.search(union_queries[0].expression))
+
+    rows = {
+        name: _run_config(index, union_queries, **kwargs)
+        for name, kwargs in ET_MODES
+    }
+    baseline = rows["none"]["evaluated"]
+    lines = [f"{'mode':<12}{'evaluated':>11}{'fetched':>9}{'norm':>7}"]
+    for name, _ in ET_MODES:
+        row = rows[name]
+        lines.append(
+            f"{name:<12}{row['evaluated']:>11}{row['fetched']:>9}"
+            f"{row['evaluated'] / baseline:>7.2f}"
+        )
+    emit_table("Ablation: ET mechanisms (union queries, k=%d)" % BENCH_K,
+               lines)
+
+    # Adding mechanisms never increases evaluation.
+    assert rows["both"]["evaluated"] <= rows["block-only"]["evaluated"]
+    assert rows["both"]["evaluated"] <= rows["wand-only"]["evaluated"]
+    assert rows["block-only"]["evaluated"] <= rows["none"]["evaluated"]
+    assert rows["wand-only"]["evaluated"] <= rows["none"]["evaluated"]
+    # The combination skips meaningfully.
+    assert rows["both"]["evaluated"] < rows["none"]["evaluated"]
+
+
+def test_ablation_interval_length(benchmark, ccnews, union_queries):
+    index = ccnews.corpus.index
+    wide = BossAccelerator(
+        index, replace(BossConfig(k=BENCH_K), et_interval_blocks=8)
+    )
+    benchmark(lambda: wide.search(union_queries[0].expression))
+
+    rows = {
+        window: _run_config(index, union_queries,
+                            et_interval_blocks=window)
+        for window in INTERVALS
+    }
+    lines = [f"{'interval':<10}{'evaluated':>11}{'fetched':>9}"
+             f"{'metadata':>10}"]
+    for window in INTERVALS:
+        row = rows[window]
+        lines.append(
+            f"{window:<10}{row['evaluated']:>11}{row['fetched']:>9}"
+            f"{row['metadata']:>10}"
+        )
+    emit_table("Ablation: pruning-interval length (blocks)", lines)
+
+    # Longer intervals -> looser bounds -> no fewer evaluations.
+    evaluated = [rows[w]["evaluated"] for w in INTERVALS]
+    assert all(b >= a - a * 0.01 for a, b in zip(evaluated, evaluated[1:]))

@@ -1,0 +1,75 @@
+"""Extension: event-driven pipeline sim vs the analytic timing model.
+
+The figure benchmarks use the fast analytic model (max of stage busy
+times). This bench cross-validates it against the discrete-event
+single-core simulator on traced executions: per query type, the ratio
+of event-simulated to analytic time should hover near 1 (the core is
+well pipelined), never dropping below 1 by construction.
+"""
+
+import pytest
+
+from repro.core import BossAccelerator, BossConfig
+from repro.sim.coresim import BossCoreSimulator
+from repro.sim.timing import BossTimingModel
+
+from conftest import BENCH_K, QUERY_TYPES, emit_table
+
+
+@pytest.fixture(scope="module")
+def validation_rows(ccnews):
+    engine = BossAccelerator(ccnews.corpus.index, BossConfig(k=BENCH_K))
+    model = BossTimingModel()
+    simulator = BossCoreSimulator(
+        decode_values_per_cycle=model.decode_values_per_cycle
+    )
+    rows = {}
+    for qt in QUERY_TYPES:
+        queries = [q for q in ccnews.queries if q.qtype == qt][:20]
+        ratios = []
+        efficiencies = []
+        for query in queries:
+            engine.fetch_log = []
+            result = engine.search(query.expression)
+            if not engine.fetch_log:
+                continue
+            report = simulator.simulate(result, engine.fetch_log)
+            analytic = max(
+                model.compute_seconds(result) - model.query_overhead,
+                model.memory_seconds(result),
+            )
+            if analytic > 0 and report.total_seconds > 0:
+                ratios.append(report.total_seconds / analytic)
+                efficiencies.append(report.pipeline_efficiency)
+        engine.fetch_log = None
+        rows[qt] = (
+            sum(ratios) / len(ratios) if ratios else float("nan"),
+            sum(efficiencies) / len(efficiencies)
+            if efficiencies else float("nan"),
+            len(ratios),
+        )
+    return rows
+
+
+def test_coresim_validation(benchmark, ccnews, validation_rows):
+    engine = BossAccelerator(ccnews.corpus.index, BossConfig(k=BENCH_K))
+    simulator = BossCoreSimulator()
+    engine.fetch_log = []
+    result = engine.search(ccnews.queries[0].expression)
+    log = list(engine.fetch_log)
+    benchmark(lambda: simulator.simulate(result, log))
+
+    lines = [f"{'qtype':<7}{'event/analytic':>16}{'pipeline eff':>14}"
+             f"{'queries':>9}"]
+    for qt, (ratio, efficiency, n) in validation_rows.items():
+        lines.append(f"{qt:<7}{ratio:>16.2f}{efficiency:>14.2f}{n:>9}")
+    emit_table(
+        "Extension: event-driven core sim vs analytic model", lines
+    )
+
+    for qt, (ratio, _eff, n) in validation_rows.items():
+        if n == 0:
+            continue
+        # The analytic model is a faithful summary: within 3x on
+        # average per query type, and never optimistic by much.
+        assert 0.8 <= ratio <= 3.0, (qt, ratio)

@@ -1,0 +1,72 @@
+"""Figure 9: multi-core query throughput on the ClueWeb12-like corpus.
+
+Per query type Q1–Q6, BOSS and IIU throughput with 1/2/4/8 cores,
+normalized to 8-thread Lucene — the paper's headline plot. Shape targets:
+BOSS is highest everywhere and keeps scaling with cores; IIU saturates
+with fewer cores (bandwidth-bound earlier); the 8-core BOSS average lands
+in the high single digits (paper: 7.54x on ClueWeb12).
+"""
+
+import math
+
+import pytest
+
+from conftest import QUERY_TYPES, emit_table
+
+CORE_COUNTS = (1, 2, 4, 8)
+
+
+def _normalized_throughput(workload, timing_models):
+    lucene8 = {
+        qt: timing_models["Lucene"].batch(
+            workload.results_of("Lucene", qt), 8
+        ).throughput_qps
+        for qt in QUERY_TYPES
+    }
+    table = {}
+    for engine in ("IIU", "BOSS"):
+        for cores in CORE_COUNTS:
+            for qt in QUERY_TYPES:
+                report = timing_models[engine].batch(
+                    workload.results_of(engine, qt), cores
+                )
+                table[(engine, cores, qt)] = (
+                    report.throughput_qps / lucene8[qt]
+                )
+    return table
+
+
+@pytest.fixture(scope="module")
+def table(clueweb, timing_models):
+    return _normalized_throughput(clueweb, timing_models)
+
+
+def test_fig09_multicore_throughput(benchmark, clueweb, timing_models,
+                                    table):
+    results = clueweb.results_of("BOSS")
+    benchmark(lambda: timing_models["BOSS"].batch(results, 8))
+
+    lines = [f"{'engine':<8}{'cores':>6}" + "".join(
+        f"{qt:>8}" for qt in QUERY_TYPES) + f"{'geomean':>9}"]
+    geomeans = {}
+    for engine in ("IIU", "BOSS"):
+        for cores in CORE_COUNTS:
+            values = [table[(engine, cores, qt)] for qt in QUERY_TYPES]
+            geomean = math.exp(sum(map(math.log, values)) / len(values))
+            geomeans[(engine, cores)] = geomean
+            lines.append(
+                f"{engine:<8}{cores:>6}"
+                + "".join(f"{v:>8.2f}" for v in values)
+                + f"{geomean:>9.2f}"
+            )
+    emit_table(
+        "Figure 9: throughput vs Lucene-8 (ClueWeb12-like)", lines
+    )
+
+    # Shape assertions (paper: BOSS 7.54x, IIU 1.69x at 8 cores).
+    assert geomeans[("BOSS", 8)] > geomeans[("IIU", 8)] > 0.5
+    assert 3.0 < geomeans[("BOSS", 8)] < 20.0
+    # Scaling: BOSS gains from 1 -> 8 cores more than IIU does.
+    boss_scaling = geomeans[("BOSS", 8)] / geomeans[("BOSS", 1)]
+    iiu_scaling = geomeans[("IIU", 8)] / geomeans[("IIU", 1)]
+    assert boss_scaling >= iiu_scaling

@@ -1,0 +1,59 @@
+"""Figure 10: multi-core query throughput on the CC-News-like corpus.
+
+Same experiment as Figure 9 on the second corpus (paper: BOSS 8.7x,
+IIU 1.75x over 8-core Lucene at 8 cores).
+"""
+
+import math
+
+import pytest
+
+from conftest import QUERY_TYPES, emit_table
+
+CORE_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def table(ccnews, timing_models):
+    lucene8 = {
+        qt: timing_models["Lucene"].batch(
+            ccnews.results_of("Lucene", qt), 8
+        ).throughput_qps
+        for qt in QUERY_TYPES
+    }
+    out = {}
+    for engine in ("IIU", "BOSS"):
+        for cores in CORE_COUNTS:
+            for qt in QUERY_TYPES:
+                report = timing_models[engine].batch(
+                    ccnews.results_of(engine, qt), cores
+                )
+                out[(engine, cores, qt)] = report.throughput_qps / lucene8[qt]
+    return out
+
+
+def test_fig10_multicore_throughput(benchmark, ccnews, timing_models,
+                                    table):
+    results = ccnews.results_of("BOSS")
+    benchmark(lambda: timing_models["BOSS"].batch(results, 8))
+
+    lines = [f"{'engine':<8}{'cores':>6}" + "".join(
+        f"{qt:>8}" for qt in QUERY_TYPES) + f"{'geomean':>9}"]
+    geomeans = {}
+    for engine in ("IIU", "BOSS"):
+        for cores in CORE_COUNTS:
+            values = [table[(engine, cores, qt)] for qt in QUERY_TYPES]
+            geomean = math.exp(sum(map(math.log, values)) / len(values))
+            geomeans[(engine, cores)] = geomean
+            lines.append(
+                f"{engine:<8}{cores:>6}"
+                + "".join(f"{v:>8.2f}" for v in values)
+                + f"{geomean:>9.2f}"
+            )
+    emit_table("Figure 10: throughput vs Lucene-8 (CC-News-like)", lines)
+
+    assert geomeans[("BOSS", 8)] > geomeans[("IIU", 8)] > 0.5
+    assert 3.0 < geomeans[("BOSS", 8)] < 20.0
+    # Multi-core BOSS throughput is monotone in core count.
+    boss_curve = [geomeans[("BOSS", c)] for c in CORE_COUNTS]
+    assert boss_curve == sorted(boss_curve)

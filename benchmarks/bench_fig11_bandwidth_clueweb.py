@@ -1,0 +1,67 @@
+"""Figure 11: SCM bandwidth utilization on the ClueWeb12-like corpus.
+
+Average bandwidth demand (GB/s) of IIU and BOSS per query type and core
+count. Shape targets: BOSS consumes substantially less bandwidth than
+IIU on union-style queries while delivering higher throughput; bandwidth
+grows with core count until the device saturates.
+"""
+
+import pytest
+
+from conftest import QUERY_TYPES, emit_table
+
+CORE_COUNTS = (1, 2, 4, 8)
+GB = 10 ** 9
+
+
+def _bandwidth_table(workload, timing_models):
+    table = {}
+    for engine in ("IIU", "BOSS"):
+        for cores in CORE_COUNTS:
+            for qt in QUERY_TYPES:
+                report = timing_models[engine].batch(
+                    workload.results_of(engine, qt), cores
+                )
+                table[(engine, cores, qt)] = report.avg_bandwidth / GB
+    return table
+
+
+@pytest.fixture(scope="module")
+def table(clueweb, timing_models):
+    return _bandwidth_table(clueweb, timing_models)
+
+
+def test_fig11_bandwidth_utilization(benchmark, clueweb, timing_models,
+                                     table):
+    results = clueweb.results_of("IIU")
+    benchmark(lambda: timing_models["IIU"].batch(results, 8))
+
+    lines = [f"{'engine':<8}{'cores':>6}" + "".join(
+        f"{qt:>8}" for qt in QUERY_TYPES)]
+    for engine in ("IIU", "BOSS"):
+        for cores in CORE_COUNTS:
+            lines.append(
+                f"{engine:<8}{cores:>6}"
+                + "".join(
+                    f"{table[(engine, cores, qt)]:>8.2f}"
+                    for qt in QUERY_TYPES
+                )
+            )
+    emit_table(
+        "Figure 11: bandwidth utilization GB/s (ClueWeb12-like)", lines
+    )
+
+    # Per-query traffic: BOSS moves fewer bytes than IIU on every type.
+    for qt in QUERY_TYPES:
+        boss_bytes = sum(
+            r.traffic.total_bytes for r in clueweb.results_of("BOSS", qt)
+        )
+        iiu_bytes = sum(
+            r.traffic.total_bytes for r in clueweb.results_of("IIU", qt)
+        )
+        assert boss_bytes <= iiu_bytes, qt
+
+    # Bandwidth demand is non-decreasing in core count for BOSS.
+    for qt in QUERY_TYPES:
+        curve = [table[("BOSS", c, qt)] for c in CORE_COUNTS]
+        assert all(b >= a - 1e-9 for a, b in zip(curve, curve[1:])), qt

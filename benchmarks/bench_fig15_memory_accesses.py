@@ -1,0 +1,87 @@
+"""Figure 15: normalized memory access counts by class.
+
+Per query type, the memory accesses of BOSS normalized to IIU, broken
+into the paper's five categories: LD List, LD Score, LD Inter, ST Inter,
+ST Result. Shape targets:
+
+* BOSS eliminates LD Inter / ST Inter entirely (pipelined multi-term
+  execution keeps intermediates on chip);
+* BOSS's ST Result is a tiny constant (top-k only) while IIU stores the
+  full result list;
+* LD List and LD Score shrink through the skip mechanisms.
+"""
+
+import pytest
+
+from repro.scm.traffic import AccessClass
+
+from conftest import QUERY_TYPES, emit_table
+
+CLASSES = (
+    AccessClass.LD_LIST,
+    AccessClass.LD_SCORE,
+    AccessClass.LD_INTER,
+    AccessClass.ST_INTER,
+    AccessClass.ST_RESULT,
+)
+
+
+def _class_bytes(workload, engine, qt):
+    totals = {cls: 0 for cls in CLASSES}
+    for result in workload.results_of(engine, qt):
+        for cls, value in result.traffic.by_class().items():
+            totals[cls] += value
+    return totals
+
+
+@pytest.fixture(scope="module")
+def table(ccnews):
+    out = {}
+    for qt in QUERY_TYPES:
+        out[qt] = {
+            "IIU": _class_bytes(ccnews, "IIU", qt),
+            "BOSS": _class_bytes(ccnews, "BOSS", qt),
+        }
+    return out
+
+
+def test_fig15_memory_access_breakdown(benchmark, ccnews, table):
+    engine = ccnews.engines["IIU"]
+    query = ccnews.queries[1]
+    benchmark(lambda: engine.search(query.expression))
+
+    lines = [
+        f"{'qtype':<7}{'engine':<7}"
+        + "".join(f"{cls.value:>11}" for cls in CLASSES)
+        + f"{'total':>11}"
+    ]
+    for qt in QUERY_TYPES:
+        iiu_total = sum(table[qt]["IIU"].values()) or 1
+        for engine_name in ("IIU", "BOSS"):
+            cells = table[qt][engine_name]
+            lines.append(
+                f"{qt:<7}{engine_name:<7}"
+                + "".join(
+                    f"{cells[cls] / iiu_total:>11.3f}" for cls in CLASSES
+                )
+                + f"{sum(cells.values()) / iiu_total:>11.3f}"
+            )
+    emit_table(
+        "Figure 15: memory traffic by class, normalized to IIU total",
+        lines,
+    )
+
+    for qt in QUERY_TYPES:
+        boss = table[qt]["BOSS"]
+        iiu = table[qt]["IIU"]
+        # BOSS never touches intermediate data in memory.
+        assert boss[AccessClass.LD_INTER] == 0
+        assert boss[AccessClass.ST_INTER] == 0
+        # Result stores: top-k only vs full list.
+        assert boss[AccessClass.ST_RESULT] <= iiu[AccessClass.ST_RESULT]
+        # Total traffic shrinks.
+        assert sum(boss.values()) <= sum(iiu.values())
+
+    # IIU's multi-term intersections really do spill.
+    assert table["Q4"]["IIU"][AccessClass.ST_INTER] > 0
+    assert table["Q6"]["IIU"][AccessClass.ST_INTER] > 0

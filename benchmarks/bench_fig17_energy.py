@@ -1,0 +1,59 @@
+"""Figure 17: energy consumption of BOSS vs Lucene (log scale).
+
+Energy = average power x batch runtime: 3.2 W for the BOSS device
+(Table III) against the 74.8 W host CPU package. The paper reports a
+189x average saving — the product of the ~8x speedup and the ~23x power
+advantage. Our shape target: savings of the same order (tens to a few
+hundred x), with the per-type pattern following the speedups.
+"""
+
+import math
+
+import pytest
+
+from repro.hwmodel.energy import EnergyModel
+
+from conftest import QUERY_TYPES, emit_table
+
+
+@pytest.fixture(scope="module")
+def table(ccnews, timing_models):
+    model = EnergyModel()
+    out = {}
+    for qt in QUERY_TYPES:
+        boss_report = timing_models["BOSS"].batch(
+            ccnews.results_of("BOSS", qt), 8
+        )
+        lucene_report = timing_models["Lucene"].batch(
+            ccnews.results_of("Lucene", qt), 8
+        )
+        boss_energy = model.energy(boss_report)
+        lucene_energy = model.energy(lucene_report)
+        out[qt] = {
+            "boss_j": boss_energy.energy_joules,
+            "lucene_j": lucene_energy.energy_joules,
+            "savings": boss_energy.savings_over(lucene_energy),
+        }
+    return out
+
+
+def test_fig17_energy(benchmark, ccnews, timing_models, table):
+    model = EnergyModel()
+    report = timing_models["BOSS"].batch(ccnews.results_of("BOSS"), 8)
+    benchmark(lambda: model.energy(report))
+
+    lines = [f"{'qtype':<7}{'BOSS J':>12}{'Lucene J':>12}{'savings':>10}"]
+    for qt in QUERY_TYPES:
+        row = table[qt]
+        lines.append(
+            f"{qt:<7}{row['boss_j']:>12.6f}{row['lucene_j']:>12.6f}"
+            f"{row['savings']:>9.1f}x"
+        )
+    savings = [table[qt]["savings"] for qt in QUERY_TYPES]
+    geomean = math.exp(sum(map(math.log, savings)) / len(savings))
+    lines.append(f"geomean savings: {geomean:.1f}x (paper: 189x)")
+    emit_table("Figure 17: energy, BOSS vs Lucene (8 cores)", lines)
+
+    # Savings are large on every query type and of the paper's order.
+    assert all(s > 10 for s in savings)
+    assert 30 < geomean < 1000

@@ -1,0 +1,71 @@
+"""Extension: query latency under load (command queue + scheduler).
+
+The paper reports throughput; a serving system also cares about tail
+latency. This bench drives the device model's command queue / query
+scheduler with open arrivals at a fraction of each engine's saturation
+throughput and reports mean / p50 / p99 latency. Shape expectations:
+BOSS's latencies sit well below Lucene's at every load point, and tails
+grow toward saturation for both.
+"""
+
+import pytest
+
+from repro.core.scheduler import QueryScheduler
+from repro.sim.timing import BossTimingModel, LuceneTimingModel
+
+from conftest import emit_table
+
+#: Offered load as a fraction of the engine's own saturation throughput.
+LOAD_POINTS = (0.3, 0.6, 0.9)
+
+
+def _latency_rows(workload, engine_name, model):
+    results = workload.results_of(engine_name)
+    saturation = model.batch(results, 8).throughput_qps
+    scheduler = QueryScheduler(model, num_cores=8)
+    rows = []
+    for load in LOAD_POINTS:
+        report = scheduler.run(results, arrival_rate=load * saturation)
+        rows.append((
+            load,
+            report.mean_latency * 1e6,
+            report.latency_percentile(50) * 1e6,
+            report.latency_percentile(99) * 1e6,
+            report.core_utilization,
+        ))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def latency_tables(ccnews):
+    return {
+        "BOSS": _latency_rows(ccnews, "BOSS", BossTimingModel()),
+        "Lucene": _latency_rows(ccnews, "Lucene", LuceneTimingModel()),
+    }
+
+
+def test_latency_under_load(benchmark, ccnews, latency_tables):
+    model = BossTimingModel()
+    results = ccnews.results_of("BOSS")[:50]
+    scheduler = QueryScheduler(model, num_cores=8)
+    benchmark(lambda: scheduler.run(results))
+
+    lines = [f"{'engine':<8}{'load':>6}{'mean us':>10}{'p50 us':>9}"
+             f"{'p99 us':>9}{'util':>7}"]
+    for engine, rows in latency_tables.items():
+        for load, mean, p50, p99, util in rows:
+            lines.append(
+                f"{engine:<8}{load:>6.1f}{mean:>10.1f}{p50:>9.1f}"
+                f"{p99:>9.1f}{util:>7.2f}"
+            )
+    emit_table("Extension: latency under open arrivals (8 cores)", lines)
+
+    for engine, rows in latency_tables.items():
+        # p99 >= p50 everywhere; latency does not shrink as load rises.
+        for _load, mean, p50, p99, _util in rows:
+            assert p99 >= p50 > 0
+            assert mean > 0
+    # BOSS mean latency beats Lucene's at every load point.
+    for boss_row, lucene_row in zip(latency_tables["BOSS"],
+                                    latency_tables["Lucene"]):
+        assert boss_row[1] < lucene_row[1]

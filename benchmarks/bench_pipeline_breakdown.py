@@ -1,0 +1,61 @@
+"""Extension: per-module pipeline utilization by query type.
+
+The paper provisions each BOSS core with 1 block-fetch, 4 decompression,
+1 intersection, 1 union, 4 scoring, and 1 top-k module (Table I). This
+bench shows where the cycles actually go per Table II query type —
+the visibility a cycle-level simulator gives — and checks the design
+intuition: unions stress decompression/scoring and the memory side,
+intersections concentrate in the block-fetch/merge path.
+"""
+
+import pytest
+
+from repro.sim.pipeline import MEMORY_STAGE, analyze_batch
+from repro.sim.timing import BossTimingModel
+
+from conftest import QUERY_TYPES, emit_table
+
+STAGES = ("block-fetch", "decompression", "merger", "scoring", "top-k",
+          MEMORY_STAGE)
+
+
+@pytest.fixture(scope="module")
+def breakdowns(ccnews):
+    model = BossTimingModel()
+    return {
+        qt: analyze_batch(model, ccnews.results_of("BOSS", qt))
+        for qt in QUERY_TYPES
+    }
+
+
+def test_pipeline_breakdown(benchmark, ccnews, breakdowns):
+    model = BossTimingModel()
+    results = ccnews.results_of("BOSS")[:60]
+    benchmark(lambda: analyze_batch(model, results))
+
+    lines = [f"{'qtype':<7}" + "".join(f"{s:>15}" for s in STAGES)
+             + f"{'bottleneck':>15}"]
+    for qt, report in breakdowns.items():
+        total = sum(report.stage_seconds.values()) or 1.0
+        shares = {
+            stage: report.stage_seconds.get(stage, 0.0) / total
+            for stage in STAGES
+        }
+        lines.append(
+            f"{qt:<7}"
+            + "".join(f"{shares[s]:>14.1%} " for s in STAGES)
+            + f"{report.bottleneck:>15}"
+        )
+    emit_table(
+        "Extension: BOSS pipeline busy-time shares by query type", lines
+    )
+
+    for qt, report in breakdowns.items():
+        stage_seconds = report.stage_seconds
+        assert all(v >= 0 for v in stage_seconds.values())
+        # Every query type does real decompression work.
+        assert stage_seconds["decompression"] > 0
+    # Unions lean on memory/decompression more than intersections do.
+    union_mem = breakdowns["Q5"].stage_seconds[MEMORY_STAGE]
+    inter_mem = breakdowns["Q4"].stage_seconds[MEMORY_STAGE]
+    assert union_mem > inter_mem

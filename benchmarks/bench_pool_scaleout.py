@@ -1,0 +1,85 @@
+"""Extension: memory-pool scale-out and the shared-interconnect wall.
+
+Section III-A's architectural argument, quantified: as memory nodes are
+added to the pool (each holding one shard and serving its share of the
+query load), an NDP design's aggregate throughput scales with node
+count because only top-k results cross the shared link, while a
+host-side engine is capped by the link no matter how many nodes are
+pooled. This bench sweeps node count and reports aggregate throughput
+for BOSS (NDP) vs the Lucene host path.
+"""
+
+import pytest
+
+from repro.scm.interconnect import CXL_LINK
+from repro.scm.pool import MemoryNode, MemoryPool
+
+from conftest import emit_table
+
+NODE_COUNTS = (1, 2, 4, 8, 16)
+
+
+def _aggregate_throughput(workload, timing_models, engine, nodes):
+    """Aggregate QPS when the load spreads over ``nodes`` shards.
+
+    Each node runs the same per-shard batch (a uniform sharding
+    assumption). For the NDP design, compute and device bandwidth are
+    per node; only result traffic shares the host link. For the host
+    engine, the CPU cores are fixed — every shard's work serializes on
+    the same 8 cores — and every loaded byte crosses the shared link.
+    """
+    results = workload.results_of(engine)
+    report = timing_models[engine].batch(results, 8)
+    if engine.startswith("BOSS") or engine == "IIU":
+        per_node_seconds = max(report.compute_seconds,
+                               report.memory_seconds)
+        link_seconds = nodes * report.interconnect_seconds
+        batch_seconds = max(per_node_seconds, link_seconds)
+    else:
+        batch_seconds = max(
+            nodes * report.compute_seconds,
+            report.memory_seconds,
+            nodes * report.interconnect_seconds,
+        )
+    return nodes * len(results) / batch_seconds
+
+
+@pytest.fixture(scope="module")
+def curves(ccnews, timing_models):
+    return {
+        engine: [
+            _aggregate_throughput(ccnews, timing_models, engine, n)
+            for n in NODE_COUNTS
+        ]
+        for engine in ("BOSS", "Lucene")
+    }
+
+
+def test_pool_scaleout(benchmark, ccnews, timing_models, curves):
+    benchmark(
+        lambda: _aggregate_throughput(ccnews, timing_models, "BOSS", 8)
+    )
+
+    lines = [f"{'nodes':<7}{'BOSS qps':>14}{'Lucene qps':>14}"
+             f"{'BOSS scaling':>14}"]
+    for i, nodes in enumerate(NODE_COUNTS):
+        lines.append(
+            f"{nodes:<7}{curves['BOSS'][i]:>14.0f}"
+            f"{curves['Lucene'][i]:>14.0f}"
+            f"{curves['BOSS'][i] / curves['BOSS'][0]:>13.1f}x"
+        )
+    pool = MemoryPool(nodes=[MemoryNode() for _ in range(16)],
+                      interconnect=CXL_LINK)
+    lines.append(
+        f"16-node pool: capacity {pool.capacity >> 40} TB, "
+        f"host-visible BW/capacity {pool.bandwidth_to_capacity_ratio:.2e} /s"
+    )
+    emit_table("Extension: pool scale-out (aggregate throughput)", lines)
+
+    # BOSS scales near-linearly across the sweep.
+    boss_scaling = curves["BOSS"][-1] / curves["BOSS"][0]
+    assert boss_scaling > 0.75 * NODE_COUNTS[-1]
+    # BOSS's advantage over the host path grows with node count.
+    first_ratio = curves["BOSS"][0] / curves["Lucene"][0]
+    last_ratio = curves["BOSS"][-1] / curves["Lucene"][-1]
+    assert last_ratio >= first_ratio

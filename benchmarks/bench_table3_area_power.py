@@ -1,0 +1,57 @@
+"""Table III: area and power breakdown of BOSS.
+
+The paper's synthesis numbers (TSMC 40nm) are model constants; this
+bench prints the full table and checks the totals the paper reports:
+1.003 mm^2 / 406.6 mW per core, 8.27 mm^2 / 3.2 W per device, and the
+23.3x power advantage over the 74.8 W host CPU.
+"""
+
+import pytest
+
+from repro.hwmodel.area_power import (
+    BOSS_CORE_BREAKDOWN,
+    BOSS_DEVICE_BREAKDOWN,
+    CPU_PACKAGE_POWER_W,
+    boss_core_totals,
+    boss_device_totals,
+)
+
+from conftest import emit_table
+
+
+def test_table3_area_power(benchmark):
+    benchmark(boss_device_totals)
+
+    lines = [f"{'component':<18}{'#':>3}{'area mm^2':>12}{'power mW':>12}"]
+    lines.append("-- BOSS device --")
+    for component in BOSS_DEVICE_BREAKDOWN:
+        lines.append(
+            f"{component.name:<18}{component.instances:>3}"
+            f"{component.area_mm2:>12.3f}{component.power_mw:>12.2f}"
+        )
+    device = boss_device_totals()
+    lines.append(
+        f"{'total':<18}{'':>3}{device['area_mm2']:>12.3f}"
+        f"{device['power_mw']:>12.2f}"
+    )
+    lines.append("-- BOSS core --")
+    for component in BOSS_CORE_BREAKDOWN:
+        lines.append(
+            f"{component.name:<18}{component.instances:>3}"
+            f"{component.area_mm2:>12.3f}{component.power_mw:>12.2f}"
+        )
+    core = boss_core_totals()
+    lines.append(
+        f"{'total':<18}{'':>3}{core['area_mm2']:>12.3f}"
+        f"{core['power_mw']:>12.2f}"
+    )
+    power_ratio = CPU_PACKAGE_POWER_W / (device["power_mw"] / 1000.0)
+    lines.append(f"CPU package power: {CPU_PACKAGE_POWER_W} W "
+                 f"(BOSS advantage: {power_ratio:.1f}x)")
+    emit_table("Table III: area and power of BOSS (TSMC 40nm)", lines)
+
+    assert core["area_mm2"] == pytest.approx(1.003, rel=0.01)
+    assert core["power_mw"] == pytest.approx(406.6, rel=0.01)
+    assert device["area_mm2"] == pytest.approx(8.27, rel=0.01)
+    assert device["power_mw"] / 1000.0 == pytest.approx(3.2, rel=0.02)
+    assert power_ratio == pytest.approx(23.3, rel=0.02)

@@ -1,0 +1,112 @@
+"""Shared experiment fixtures for the figure/table benchmarks.
+
+Each ``bench_figXX_*.py`` regenerates one figure or table of the paper's
+evaluation. The expensive inputs — two synthetic corpora and the full
+query batches executed on every engine variant — are built once per
+session here and cached.
+
+Scaling note: the corpora are laptop-scale substitutes (see DESIGN.md),
+so ``k`` is scaled with them. The paper pairs k=1000 with posting lists
+of millions of entries (k ≪ blocks-per-list); we pair k=10 with lists of
+tens of thousands so the k-to-block-count ratio — which governs early
+termination — stays in the paper's regime. Set ``BOSS_BENCH_QUERIES``
+and ``BOSS_BENCH_SCALE`` to trade fidelity for runtime.
+"""
+
+import os
+from collections import defaultdict
+
+import pytest
+
+from repro.baselines import IIUAccelerator, IIUConfig, LuceneConfig, LuceneEngine
+from repro.core import BossAccelerator, BossConfig
+from repro.sim.timing import BossTimingModel, IIUTimingModel, LuceneTimingModel
+from repro.workloads import QuerySampler, make_corpus
+
+#: Queries per term-count bucket (the paper uses 100 -> 300 total).
+QUERIES_PER_BUCKET = int(os.environ.get("BOSS_BENCH_QUERIES", "100"))
+#: Corpus scale factor.
+CORPUS_SCALE = float(os.environ.get("BOSS_BENCH_SCALE", "1.0"))
+#: Top-k, scaled with the corpus (see module docstring).
+BENCH_K = int(os.environ.get("BOSS_BENCH_K", "10"))
+
+QUERY_TYPES = ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6")
+ENGINE_VARIANTS = ("BOSS", "BOSS-exhaustive", "BOSS-block-only", "IIU",
+                   "Lucene")
+
+_RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+class Workload:
+    """One corpus plus every engine's executions of the query batch."""
+
+    def __init__(self, preset: str):
+        self.preset = preset
+        self.corpus = make_corpus(preset, scale=CORPUS_SCALE)
+        index = self.corpus.index
+        self.engines = {
+            "BOSS": BossAccelerator(index, BossConfig(k=BENCH_K)),
+            "BOSS-exhaustive": BossAccelerator(
+                index, BossConfig(k=BENCH_K).exhaustive()
+            ),
+            "BOSS-block-only": BossAccelerator(
+                index, BossConfig(k=BENCH_K).block_only()
+            ),
+            "IIU": IIUAccelerator(index, IIUConfig(k=BENCH_K)),
+            "Lucene": LuceneEngine(index, LuceneConfig(k=BENCH_K)),
+        }
+        sampler = QuerySampler(self.corpus.terms_by_df(), seed=5)
+        self.queries = list(sampler.sample(QUERIES_PER_BUCKET))
+        #: engine -> qtype -> [SearchResult]
+        self.executions = defaultdict(lambda: defaultdict(list))
+        for query in self.queries:
+            for name, engine in self.engines.items():
+                self.executions[name][query.qtype].append(
+                    engine.search(query.expression)
+                )
+
+    def results_of(self, engine: str, qtype: str = None):
+        if qtype is None:
+            return [
+                r for qt in QUERY_TYPES for r in self.executions[engine][qt]
+            ]
+        return list(self.executions[engine][qtype])
+
+
+_WORKLOADS = {}
+
+
+def _workload(preset: str) -> Workload:
+    if preset not in _WORKLOADS:
+        _WORKLOADS[preset] = Workload(preset)
+    return _WORKLOADS[preset]
+
+
+@pytest.fixture(scope="session")
+def clueweb():
+    return _workload("clueweb12-like")
+
+
+@pytest.fixture(scope="session")
+def ccnews():
+    return _workload("ccnews-like")
+
+
+@pytest.fixture(scope="session")
+def timing_models():
+    return {
+        "BOSS": BossTimingModel(),
+        "BOSS-exhaustive": BossTimingModel(),
+        "BOSS-block-only": BossTimingModel(),
+        "IIU": IIUTimingModel(),
+        "Lucene": LuceneTimingModel(),
+    }
+
+
+def emit_table(title: str, lines):
+    """Print a figure's rows and append them to benchmarks/results.txt."""
+    block = [f"== {title} =="] + list(lines) + [""]
+    text = "\n".join(block)
+    print("\n" + text)
+    with open(_RESULTS_PATH, "a") as handle:
+        handle.write(text + "\n")

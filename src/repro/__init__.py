@@ -1,0 +1,112 @@
+"""BOSS: Bandwidth-Optimized Search Accelerator for Storage-Class Memory.
+
+A behavioral and performance-model reproduction of Heo et al., ISCA 2021.
+
+The library has three layers:
+
+* **functional search substrate** — inverted index construction
+  (:mod:`repro.index`), integer compression (:mod:`repro.compression`),
+  the programmable decompression module (:mod:`repro.decompressor`),
+  query parsing and the BM25/WAND/SvS machinery (:mod:`repro.core`);
+* **engines** — the BOSS accelerator (:class:`repro.core.BossAccelerator`)
+  and the two baselines (:mod:`repro.baselines`): IIU and a Lucene-like
+  software engine. All three return identical top-k results and differ
+  only in the work/traffic they generate;
+* **performance model** — SCM/DRAM device and interconnect models
+  (:mod:`repro.scm`), the timing and throughput model (:mod:`repro.sim`)
+  and the area/power/energy model (:mod:`repro.hwmodel`).
+
+Quickstart::
+
+    from repro import BossSession, IndexBuilder
+
+    builder = IndexBuilder()
+    builder.add_document("storage class memory is the new tier".split())
+    builder.add_document("a search accelerator near the memory".split())
+    index = builder.build()
+
+    session = BossSession()
+    session.init(index)
+    result = session.search('"memory" AND "search"', k=10)
+    for hit in result.hits:
+        print(hit.doc_id, hit.score)
+"""
+
+from repro.api import BossSession, MAX_QUERY_TERMS
+from repro.baselines import IIUAccelerator, IIUConfig, LuceneConfig, LuceneEngine
+from repro.core import (
+    BossAccelerator,
+    BossConfig,
+    ScoredDocument,
+    SearchResult,
+    TopKQueue,
+    classify_query,
+    parse_query,
+)
+from repro.errors import (
+    CompressionError,
+    ConfigurationError,
+    DecompressorProgramError,
+    InvertedIndexError,
+    QueryError,
+    ReproError,
+    SimulationError,
+)
+from repro.index import (
+    BM25Parameters,
+    BM25Scorer,
+    IndexBuilder,
+    InvertedIndex,
+)
+from repro.index.io import load_index, save_index
+from repro.sim import (
+    BossTimingModel,
+    IIUTimingModel,
+    LuceneTimingModel,
+    ThroughputReport,
+)
+from repro.workloads import QuerySampler, make_corpus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # sessions & engines
+    "BossSession",
+    "MAX_QUERY_TERMS",
+    "BossAccelerator",
+    "BossConfig",
+    "IIUAccelerator",
+    "IIUConfig",
+    "LuceneEngine",
+    "LuceneConfig",
+    # index
+    "IndexBuilder",
+    "InvertedIndex",
+    "BM25Parameters",
+    "BM25Scorer",
+    "save_index",
+    "load_index",
+    # queries & results
+    "parse_query",
+    "classify_query",
+    "SearchResult",
+    "ScoredDocument",
+    "TopKQueue",
+    # performance model
+    "BossTimingModel",
+    "IIUTimingModel",
+    "LuceneTimingModel",
+    "ThroughputReport",
+    # workloads
+    "make_corpus",
+    "QuerySampler",
+    # errors
+    "ReproError",
+    "CompressionError",
+    "DecompressorProgramError",
+    "InvertedIndexError",
+    "QueryError",
+    "ConfigurationError",
+    "SimulationError",
+]

@@ -1,0 +1,236 @@
+"""Offloading API: the paper's ``init()`` / ``search()`` interface.
+
+Section IV-D defines two intrinsics a host application uses to drive
+BOSS::
+
+    void init(file indexFile, file configFile)
+    val search(string qExpression, val compType[16], size_t nTerm,
+               addr listAddr[16], addr resultAddr, val resultSize)
+
+:class:`BossSession` is the Pythonic embodiment: ``init`` loads an index
+file into the (simulated) SCM pool, installs the address mapping in the
+MAI, and registers the decompression-module configuration programs;
+``search`` parses the expression, resolves each term's compression
+scheme and list address (the ``compType``/``listAddr`` arrays), bounds
+the term count to the 16-term hardware limit, and executes on the
+accelerator model.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.engine import BossAccelerator, BossConfig
+from repro.core.mai import MemoryAccessInterface
+from repro.core.query import parse_query
+from repro.core.result import SearchResult
+from repro.decompressor.configs import BUILTIN_PROGRAMS
+from repro.decompressor.program import DecompressorProgram, parse_program
+from repro.errors import ConfigurationError, QueryError
+from repro.index.index import InvertedIndex
+from repro.index.io import load_index
+
+#: Hardware limit: four chained BOSS cores of 4-way mergers (Section IV-D).
+MAX_QUERY_TERMS = 16
+
+
+class BossSession:
+    """A host <-> BOSS communication session over one memory node."""
+
+    def __init__(self, config: BossConfig = BossConfig()) -> None:
+        self._config = config
+        self._index: Optional[InvertedIndex] = None
+        self._accelerator: Optional[BossAccelerator] = None
+        self._programs: Dict[str, DecompressorProgram] = {}
+        self.mai = MemoryAccessInterface()
+
+    # ------------------------------------------------------------------
+    # init()
+    # ------------------------------------------------------------------
+
+    def init(self, index: Union[InvertedIndex, str, Path],
+             config_file: Union[str, Path, None] = None) -> None:
+        """Load the index into the pool and configure the device.
+
+        ``index`` is an index file path (the paper's ``indexFile``) or an
+        already-built :class:`InvertedIndex`. ``config_file`` optionally
+        adds custom decompression programs (the paper's ``configFile``);
+        the built-in programs for the five paper schemes are always
+        registered.
+        """
+        if isinstance(index, (str, Path)):
+            index = load_index(index)
+        self._index = index
+        self._accelerator = BossAccelerator(index, self._config)
+        self._programs = dict(BUILTIN_PROGRAMS)
+        if config_file is not None:
+            text = Path(config_file).read_text()
+            program = parse_program(text, name=str(config_file))
+            self._programs[program.name] = program
+        # Install the physical mapping of the index region in the MAI:
+        # identity-mapped huge pages over the allocated span.
+        span = index.layout.allocated_bytes
+        if span:
+            page = self.mai.page_size
+            mapped = ((span + page - 1) // page) * page
+            self.mai.map_range(0, 0, mapped)
+
+    @property
+    def initialized(self) -> bool:
+        return self._accelerator is not None
+
+    @property
+    def index(self) -> InvertedIndex:
+        self._require_init()
+        return self._index
+
+    @property
+    def accelerator(self) -> BossAccelerator:
+        self._require_init()
+        return self._accelerator
+
+    # ------------------------------------------------------------------
+    # search()
+    # ------------------------------------------------------------------
+
+    def search(self, q_expression: str, k: Optional[int] = None,
+               result_size: Optional[int] = None) -> SearchResult:
+        """Offload one query.
+
+        Mirrors the paper's argument checks: the expression is parsed,
+        ``nTerm`` is bounded by the 16-term hardware limit, and each
+        term's ``compType``/``listAddr`` is resolved from the index. A
+        ``result_size`` smaller than the top-k output raises, modeling an
+        undersized ``resultAddr`` buffer.
+        """
+        self._require_init()
+        node = parse_query(q_expression)
+        terms = node.terms()
+        if len(terms) > MAX_QUERY_TERMS:
+            return self._search_oversized(node, k, result_size)
+        # Resolve compType/listAddr for every term — and verify the
+        # device has a decompression program for each scheme.
+        for comp_type in self.comp_types(terms):
+            if comp_type not in self._programs:
+                raise ConfigurationError(
+                    f"no decompression program registered for {comp_type!r}"
+                )
+        effective_k = self._config.k if k is None else k
+        if result_size is not None and result_size < 8 * effective_k:
+            raise ConfigurationError(
+                f"result buffer of {result_size} B cannot hold top-"
+                f"{effective_k} (needs {8 * effective_k} B)"
+            )
+        return self._accelerator.search(node, k=k)
+
+    def _search_oversized(self, node, k: Optional[int],
+                          result_size: Optional[int]) -> SearchResult:
+        """Host-split execution for queries beyond 16 terms.
+
+        The paper's Section IV-D fallback: "The host first divides the
+        query into several subqueries ... BOSS then processes each
+        subquery without pruning or top-k selection, and stores all
+        intermediate results in the host memory. Finally, the host
+        processes gathered data to retrieve the final output."
+
+        Pure unions and pure intersections of terms are supported — the
+        shapes for which term-partitioned subqueries compose exactly:
+        per-document scores simply add across disjoint term chunks.
+        """
+        from repro.core.query import AndNode, OrNode, TermNode
+        from repro.core.topk import TopKQueue
+
+        if not isinstance(node, (AndNode, OrNode)) or not all(
+            isinstance(c, TermNode) for c in node.children
+        ):
+            raise QueryError(
+                "queries beyond 16 terms must be pure unions or pure "
+                "intersections of terms for host-side splitting"
+            )
+        terms = node.terms()
+        is_union = isinstance(node, OrNode)
+        effective_k = self._config.k if k is None else k
+        if result_size is not None and result_size < 8 * effective_k:
+            raise ConfigurationError(
+                f"result buffer of {result_size} B cannot hold top-"
+                f"{effective_k} (needs {8 * effective_k} B)"
+            )
+
+        # Subqueries run without pruning or top-k: ET disabled, k large
+        # enough to materialize every match.
+        from dataclasses import replace
+
+        exhaustive = BossAccelerator(
+            self._index,
+            replace(self._config, et_block=False, et_wand=False),
+        )
+        chunks = [
+            terms[i:i + MAX_QUERY_TERMS]
+            for i in range(0, len(terms), MAX_QUERY_TERMS)
+        ]
+
+        total_work = None
+        total_traffic = None
+        interconnect = 0
+        scores: dict = {}
+        membership: dict = {}
+        for chunk in chunks:
+            if len(chunk) == 1:
+                sub = TermNode(chunk[0])
+            elif is_union:
+                sub = OrNode(tuple(TermNode(t) for t in chunk))
+            else:
+                # Chunk intersections: a document surviving every chunk
+                # contains every query term, and its chunk scores add up
+                # to the exact full-query score.
+                sub = AndNode(tuple(TermNode(t) for t in chunk))
+            bound = sum(
+                self._index.posting_list(t).document_frequency
+                for t in chunk
+            )
+            result = exhaustive.search(sub, k=max(1, bound))
+            # Every intermediate entry crosses to host memory.
+            interconnect += 8 * len(result.hits)
+            for hit in result.hits:
+                scores[hit.doc_id] = scores.get(hit.doc_id, 0.0) + hit.score
+                membership[hit.doc_id] = membership.get(hit.doc_id, 0) + 1
+            if total_work is None:
+                total_work = result.work
+                total_traffic = result.traffic
+            else:
+                total_work.merge(result.work)
+                total_traffic.merge(result.traffic)
+
+        topk = TopKQueue(effective_k)
+        for doc_id in sorted(scores):
+            if is_union or membership[doc_id] == len(chunks):
+                topk.offer(doc_id, scores[doc_id])
+
+        from repro.core.result import ScoredDocument
+
+        hits = [ScoredDocument(d, s) for d, s in topk.results()]
+        return SearchResult(
+            query=node,
+            hits=hits,
+            traffic=total_traffic,
+            work=total_work,
+            interconnect_bytes=interconnect,
+        )
+
+    def comp_types(self, terms: List[str]) -> List[str]:
+        """The ``compType`` array for a term list."""
+        self._require_init()
+        return [self._index.posting_list(t).scheme for t in terms]
+
+    def list_addresses(self, terms: List[str]) -> List[int]:
+        """The ``listAddr`` array: each list's base address in the pool."""
+        self._require_init()
+        return [
+            self.mai.translate(self._index.posting_list(t).region.base)
+            for t in terms
+        ]
+
+    def _require_init(self) -> None:
+        if self._accelerator is None:
+            raise ConfigurationError("session not initialized; call init()")

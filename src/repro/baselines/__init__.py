@@ -1,0 +1,24 @@
+"""Comparison engines: IIU (prior accelerator) and Lucene (software).
+
+Both baselines share the functional substrate (index, codecs, BM25) and
+return the same top-k results as BOSS; they differ in *how* they execute —
+which is what the performance model measures:
+
+* :mod:`repro.baselines.iiu` — the prior inverted-index accelerator
+  [34]: binary-search intersections (random access), exhaustive unions
+  (no early termination), intermediate-result spills for multi-term
+  queries, and host-side top-k (the full scored list leaves the device);
+* :mod:`repro.baselines.lucene` — a production-grade software engine
+  model: document-at-a-time WAND with skip lists, per-operation CPU
+  costs, running on host cores across the shared interconnect.
+"""
+
+from repro.baselines.iiu import IIUAccelerator, IIUConfig
+from repro.baselines.lucene import LuceneEngine, LuceneConfig
+
+__all__ = [
+    "IIUAccelerator",
+    "IIUConfig",
+    "LuceneEngine",
+    "LuceneConfig",
+]

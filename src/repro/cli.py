@@ -1,0 +1,206 @@
+"""Command-line interface: build, inspect, and query BOSS indexes.
+
+Installed as the ``repro-boss`` console script::
+
+    repro-boss build  --input docs.txt --output corpus.boss
+    repro-boss info   --index corpus.boss
+    repro-boss search --index corpus.boss --query '"memory" AND "search"'
+    repro-boss demo
+
+``build`` reads one whitespace-tokenized document per line. ``search``
+runs any of the three engines and reports the hits plus the performance
+model's traffic/latency estimates. ``demo`` builds a small synthetic
+corpus and prints the BOSS/IIU/Lucene comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines import IIUAccelerator, IIUConfig, LuceneConfig, LuceneEngine
+from repro.core import BossAccelerator, BossConfig
+from repro.errors import ReproError
+from repro.index import IndexBuilder
+from repro.index.io import load_index, save_index
+from repro.sim.timing import BossTimingModel, IIUTimingModel, LuceneTimingModel
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-boss",
+        description="BOSS (ISCA 2021) reproduction: inverted-index "
+                    "search on simulated SCM pooled memory",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="index a document file")
+    build.add_argument("--input", required=True,
+                       help="text file, one document per line")
+    build.add_argument("--output", required=True, help="index file to write")
+    build.add_argument("--scheme", default=None,
+                       help="pin one compression scheme (default: hybrid)")
+    build.add_argument("--analyze", action="store_true",
+                       help="run the full analysis chain (lowercase, "
+                            "stop words, S-stemming) instead of "
+                            "whitespace tokenization")
+
+    info = sub.add_parser("info", help="describe an index file")
+    info.add_argument("--index", required=True)
+
+    search = sub.add_parser("search", help="query an index file")
+    search.add_argument("--index", required=True)
+    search.add_argument("--query", required=True,
+                        help='paper syntax, e.g. \'"a" AND ("b" OR "c")\'')
+    search.add_argument("-k", type=int, default=10)
+    search.add_argument("--engine", choices=("boss", "iiu", "lucene"),
+                        default="boss")
+
+    check = sub.add_parser("validate",
+                           help="integrity-check an index file")
+    check.add_argument("--index", required=True)
+    check.add_argument("--fast", action="store_true",
+                       help="structural checks only (skip score bounds)")
+
+    sub.add_parser("demo", help="synthetic-corpus engine comparison")
+    return parser
+
+
+def _cmd_build(args) -> int:
+    builder = IndexBuilder(
+        schemes=[args.scheme] if args.scheme else None
+    )
+    analyzer = None
+    if args.analyze:
+        from repro.text import Analyzer
+
+        analyzer = Analyzer()
+    count = 0
+    with open(args.input) as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            tokens = analyzer.analyze(line) if analyzer else line.split()
+            builder.add_document(tokens if tokens else ["__empty__"])
+            count += 1
+    index = builder.build()
+    save_index(index, args.output)
+    print(f"indexed {count} documents, {index.num_terms} terms, "
+          f"{index.compressed_bytes} compressed bytes -> {args.output}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    index = load_index(args.index)
+    stats = index.stats
+    print(f"documents:        {stats.num_docs}")
+    print(f"terms:            {index.num_terms}")
+    print(f"avg doc length:   {stats.avgdl:.1f} tokens")
+    print(f"compressed size:  {index.compressed_bytes} B")
+    print(f"raw size:         {index.uncompressed_bytes} B "
+          f"(ratio {index.uncompressed_bytes / max(1, index.compressed_bytes):.2f}x)")
+    schemes = {}
+    for term in index:
+        scheme = index.posting_list(term).scheme
+        schemes[scheme] = schemes.get(scheme, 0) + 1
+    print("scheme mix:       " + ", ".join(
+        f"{s}={n}" for s, n in sorted(schemes.items())
+    ))
+    return 0
+
+
+def _cmd_search(args) -> int:
+    index = load_index(args.index)
+    if args.engine == "boss":
+        engine = BossAccelerator(index, BossConfig(k=args.k))
+        model = BossTimingModel()
+    elif args.engine == "iiu":
+        engine = IIUAccelerator(index, IIUConfig(k=args.k))
+        model = IIUTimingModel()
+    else:
+        engine = LuceneEngine(index, LuceneConfig(k=args.k))
+        model = LuceneTimingModel()
+    result = engine.search(args.query, k=args.k)
+    print(f"[{result.query_type}] {args.query} on {args.engine}")
+    for rank, hit in enumerate(result.hits, start=1):
+        print(f"{rank:>3}. doc {hit.doc_id:<8} score {hit.score:.4f}")
+    if not result.hits:
+        print("  (no matching documents)")
+    latency = model.query_seconds(result)
+    print(f"traffic: {result.traffic.total_bytes} B device, "
+          f"{result.interconnect_bytes} B host link; "
+          f"modeled latency {latency * 1e6:.1f} us")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.index.validate import validate_index
+
+    index = load_index(args.index)
+    report = validate_index(index, check_scores=not args.fast)
+    print(f"terms: {report.terms_checked}, blocks: "
+          f"{report.blocks_checked}, postings: {report.postings_checked}")
+    for warning in report.warnings[:10]:
+        print(f"warning: {warning}")
+    if report.ok:
+        print("index OK")
+        return 0
+    for error in report.errors[:20]:
+        print(f"ERROR: {error}")
+    print(f"{len(report.errors)} integrity errors")
+    return 1
+
+
+def _cmd_demo(_args) -> int:
+    from repro.workloads import QuerySampler, make_corpus
+
+    corpus = make_corpus("ccnews-like", scale=0.2)
+    index = corpus.index
+    sampler = QuerySampler(corpus.terms_by_df(), seed=1)
+    queries = list(sampler.sample(queries_per_term_count=8))
+    engines = {
+        "Lucene": (LuceneEngine(index, LuceneConfig(k=10)),
+                   LuceneTimingModel()),
+        "IIU": (IIUAccelerator(index, IIUConfig(k=10)), IIUTimingModel()),
+        "BOSS": (BossAccelerator(index, BossConfig(k=10)),
+                 BossTimingModel()),
+    }
+    print(f"corpus: {index.stats.num_docs} docs, {index.num_terms} terms; "
+          f"{len(queries)} queries\n")
+    baseline_qps = None
+    print(f"{'engine':<8}{'qps':>12}{'speedup':>9}{'bottleneck':>12}")
+    for name, (engine, model) in engines.items():
+        results = [engine.search(q.expression) for q in queries]
+        report = model.batch(results, 8)
+        if baseline_qps is None:
+            baseline_qps = report.throughput_qps
+        print(f"{name:<8}{report.throughput_qps:>12.0f}"
+              f"{report.throughput_qps / baseline_qps:>8.1f}x"
+              f"{report.bottleneck:>12}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "build": _cmd_build,
+        "info": _cmd_info,
+        "search": _cmd_search,
+        "validate": _cmd_validate,
+        "demo": _cmd_demo,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

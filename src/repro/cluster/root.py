@@ -1,0 +1,129 @@
+"""The root node: query fan-out and top-k merge over leaf shards.
+
+Figure 1(b)'s serving topology: the root dissects a user query, sends it
+to every leaf (each holding one shard), and merges the leaves' top-k
+lists into the final answer. "The entire query processing is fully
+parallelized across leaf nodes" — so cluster latency is the slowest
+leaf plus the root's merge, and cluster traffic is the sum of the
+leaves' (each leaf ships only its top-k back across the shared link
+when the leaves are BOSS devices).
+
+Because shard builders carry corpus-global statistics
+(:class:`~repro.cluster.sharding.ShardedCorpus`), the merged result is
+*identical* to querying a monolithic index — asserted by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.core.query import (
+    AndNode,
+    QueryNode,
+    TermNode,
+    flatten,
+    parse_query,
+)
+from repro.core.result import ScoredDocument, SearchResult
+from repro.core.topk import DEFAULT_K
+from repro.errors import ConfigurationError
+from repro.scm.traffic import TrafficCounter
+from repro.sim.metrics import WorkCounters
+
+
+@dataclass
+class ClusterSearchResult:
+    """Merged outcome of one fanned-out query."""
+
+    query: QueryNode
+    hits: List[ScoredDocument]
+    #: Per-shard raw results (None where the shard had no query terms).
+    leaf_results: List[Optional[SearchResult]]
+    #: Aggregate traffic across all leaves.
+    traffic: TrafficCounter = field(default_factory=TrafficCounter)
+    #: Aggregate work across all leaves.
+    work: WorkCounters = field(default_factory=WorkCounters)
+    #: Total bytes shipped to the root over the shared interconnect.
+    interconnect_bytes: int = 0
+    #: Root-side merge comparisons (host CPU work).
+    merge_ops: int = 0
+
+    @property
+    def shards_touched(self) -> int:
+        return sum(1 for r in self.leaf_results if r is not None)
+
+
+class SearchCluster:
+    """A root node over per-shard engines.
+
+    ``engines`` is one search engine per shard — any object with a
+    ``search(query, k)`` returning :class:`SearchResult` and an ``index``
+    property (BOSS, IIU, or the Lucene model), so the cluster topology
+    composes with every engine the library provides.
+    """
+
+    def __init__(self, engines: List) -> None:
+        if not engines:
+            raise ConfigurationError("cluster needs at least one leaf")
+        self._engines = list(engines)
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self._engines)
+
+    def search(self, query: Union[str, QueryNode],
+               k: int = DEFAULT_K) -> ClusterSearchResult:
+        """Fan out, execute per shard, merge score-ordered top-k."""
+        node = parse_query(query) if isinstance(query, str) else flatten(query)
+
+        leaf_results: List[Optional[SearchResult]] = []
+        for engine in self._engines:
+            pruned = _prune_for_shard(node, engine.index)
+            if pruned is None:
+                leaf_results.append(None)
+                continue
+            leaf_results.append(engine.search(pruned, k=k))
+
+        merged = ClusterSearchResult(query=node, hits=[],
+                                     leaf_results=leaf_results)
+        candidates: List[ScoredDocument] = []
+        for result in leaf_results:
+            if result is None:
+                continue
+            candidates.extend(result.hits)
+            merged.traffic.merge(result.traffic)
+            merged.work.merge(result.work)
+            merged.interconnect_bytes += result.interconnect_bytes
+        # Root-side merge: shards are disjoint docID intervals, so the
+        # candidates are distinct documents; a score-ordered selection
+        # suffices. Ties break toward the lower docID, matching the
+        # ascending-arrival rule of the monolithic top-k queue.
+        candidates.sort(key=lambda hit: (-hit.score, hit.doc_id))
+        merged.hits = candidates[:k]
+        merged.merge_ops = len(candidates)
+        return merged
+
+
+def _prune_for_shard(node: QueryNode,
+                     index) -> Optional[QueryNode]:
+    """Drop query terms a shard does not hold.
+
+    A missing term contributes no postings: it disappears from unions
+    and annihilates intersections — per shard, without touching the
+    global query semantics (the other shards still see the full query).
+    """
+    if isinstance(node, TermNode):
+        return node if node.term in index else None
+    pruned = [_prune_for_shard(child, index) for child in node.children]
+    if isinstance(node, AndNode):
+        if any(child is None for child in pruned):
+            return None
+        kept = [c for c in pruned if c is not None]
+    else:
+        kept = [c for c in pruned if c is not None]
+        if not kept:
+            return None
+    if len(kept) == 1:
+        return kept[0]
+    return type(node)(tuple(kept))

@@ -1,0 +1,96 @@
+"""Interval sharding of a document collection.
+
+The paper (Sections II-B, IV-A): "the inverted index is divided into
+multiple disjoint partitions, or shards, according to the intervals of
+docIDs. Each leaf node holds a distinct shard and operates only on its
+shard."
+
+Shards here keep *global* docIDs (each shard's index simply contains the
+postings of its interval), and every shard builder receives the
+corpus-global document statistics, so a document scores identically
+whether it is served by a shard or by a monolithic index — which tests
+assert. Shard document-length tables cover the whole corpus (a few bytes
+per document of replicated metadata, the standard trade for consistent
+ranking).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.index.bm25 import BM25Parameters
+from repro.index.builder import GlobalStatistics, IndexBuilder
+from repro.index.index import InvertedIndex
+
+
+class ShardedCorpus:
+    """A document collection split into docID-interval shards."""
+
+    def __init__(self, indexes: Sequence[InvertedIndex],
+                 boundaries: Sequence[int]) -> None:
+        if len(boundaries) != len(indexes) + 1:
+            raise ConfigurationError(
+                "boundaries must bracket every shard"
+            )
+        self.indexes = list(indexes)
+        #: ``boundaries[i] .. boundaries[i+1]-1`` is shard i's interval.
+        self.boundaries = list(boundaries)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.indexes)
+
+    def shard_of(self, doc_id: int) -> int:
+        """Index of the shard holding ``doc_id``."""
+        for i in range(self.num_shards):
+            if self.boundaries[i] <= doc_id < self.boundaries[i + 1]:
+                return i
+        raise ConfigurationError(f"docID {doc_id} outside every shard")
+
+
+def shard_documents(documents: Iterable[Sequence[str]], num_shards: int,
+                    params: BM25Parameters = BM25Parameters(),
+                    schemes: Optional[Sequence[str]] = None) -> ShardedCorpus:
+    """Index ``documents`` into ``num_shards`` docID-interval shards.
+
+    Pass 1 computes the corpus-global statistics (document lengths and
+    term dfs — the root's bookkeeping); pass 2 builds one index per
+    contiguous docID interval, each seeded with those global statistics.
+    """
+    if num_shards <= 0:
+        raise ConfigurationError("need at least one shard")
+    docs: List[List[str]] = [list(tokens) for tokens in documents]
+    if len(docs) < num_shards:
+        raise ConfigurationError(
+            f"cannot split {len(docs)} documents into {num_shards} shards"
+        )
+
+    # Pass 1: global statistics.
+    doc_lengths = [len(tokens) for tokens in docs]
+    term_dfs: Counter = Counter()
+    for tokens in docs:
+        term_dfs.update(set(tokens))
+    stats = GlobalStatistics(num_docs=len(docs), term_dfs=dict(term_dfs))
+
+    # Pass 2: per-interval shard indexes with global docIDs.
+    base = 0
+    boundaries = [0]
+    indexes: List[InvertedIndex] = []
+    per_shard = (len(docs) + num_shards - 1) // num_shards
+    while base < len(docs):
+        end = min(len(docs), base + per_shard)
+        builder = IndexBuilder(params=params, schemes=schemes,
+                               global_stats=stats)
+        builder.declare_documents(doc_lengths)
+        shard_postings: dict = {}
+        for doc_id in range(base, end):
+            for term, tf in Counter(docs[doc_id]).items():
+                shard_postings.setdefault(term, []).append((doc_id, tf))
+        for term in sorted(shard_postings):
+            builder.add_postings(term, shard_postings[term])
+        indexes.append(builder.build())
+        boundaries.append(end)
+        base = end
+    return ShardedCorpus(indexes, boundaries)

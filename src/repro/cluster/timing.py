@@ -1,0 +1,104 @@
+"""Cluster-level timing: latency and throughput across leaves.
+
+Leaves process a fanned-out query in parallel (Section II-B: "the
+entire query processing is fully parallelized across leaf nodes"), so
+cluster latency is the slowest leaf plus the root's merge; cluster
+throughput multiplies per-leaf throughput by the leaf count until the
+shared host link binds on the returning top-k streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.root import ClusterSearchResult
+from repro.errors import ConfigurationError
+from repro.scm.interconnect import CXL_LINK, InterconnectModel
+
+#: Host CPU cost per candidate in the root's score-ordered merge.
+ROOT_MERGE_SECONDS_PER_CANDIDATE = 20e-9
+
+
+@dataclass(frozen=True)
+class ClusterLatencyReport:
+    """Latency decomposition for one fanned-out query."""
+
+    slowest_leaf_seconds: float
+    link_seconds: float
+    merge_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return (self.slowest_leaf_seconds + self.link_seconds
+                + self.merge_seconds)
+
+
+class ClusterTimingModel:
+    """Latency/throughput over per-leaf timing models.
+
+    ``leaf_models`` must align with the cluster's engines (one timing
+    model per leaf, typically all identical BOSS models).
+    """
+
+    def __init__(self, leaf_models: Sequence,
+                 interconnect: InterconnectModel = CXL_LINK) -> None:
+        if not leaf_models:
+            raise ConfigurationError("need at least one leaf model")
+        self._leaf_models = list(leaf_models)
+        self._interconnect = interconnect
+
+    def query_latency(self,
+                      merged: ClusterSearchResult) -> ClusterLatencyReport:
+        """Latency of one fanned-out query."""
+        if len(merged.leaf_results) != len(self._leaf_models):
+            raise ConfigurationError(
+                "leaf results do not match leaf models"
+            )
+        slowest = 0.0
+        for model, result in zip(self._leaf_models, merged.leaf_results):
+            if result is None:
+                continue
+            slowest = max(slowest, model.query_seconds(result))
+        link = self._interconnect.transfer_time(merged.interconnect_bytes)
+        merge = merged.merge_ops * ROOT_MERGE_SECONDS_PER_CANDIDATE
+        return ClusterLatencyReport(
+            slowest_leaf_seconds=slowest,
+            link_seconds=link,
+            merge_seconds=merge,
+        )
+
+    def batch_throughput_qps(self, merged_batch: Sequence[ClusterSearchResult],
+                             cores_per_leaf: int = 8) -> float:
+        """Aggregate cluster QPS for a batch of fanned-out queries.
+
+        Each leaf runs its slice of every query; leaf time parallelizes,
+        the host link serializes the top-k returns and the root merge
+        runs on one host core.
+        """
+        if not merged_batch:
+            raise ConfigurationError("empty batch")
+        num_leaves = len(self._leaf_models)
+        leaf_seconds = [0.0] * num_leaves
+        link_bytes = 0
+        merge_ops = 0
+        for merged in merged_batch:
+            for i, (model, result) in enumerate(
+                zip(self._leaf_models, merged.leaf_results)
+            ):
+                if result is None:
+                    continue
+                leaf_seconds[i] += max(
+                    model.compute_seconds(result) / cores_per_leaf,
+                    model.memory_seconds(result),
+                )
+            link_bytes += merged.interconnect_bytes
+            merge_ops += merged.merge_ops
+        batch_seconds = max(
+            max(leaf_seconds),
+            self._interconnect.transfer_time(link_bytes),
+            merge_ops * ROOT_MERGE_SECONDS_PER_CANDIDATE,
+        )
+        if batch_seconds <= 0:
+            raise ConfigurationError("batch produced zero simulated time")
+        return len(merged_batch) / batch_seconds

@@ -1,0 +1,137 @@
+"""Codec interface and registry.
+
+A :class:`Codec` turns a sequence of non-negative integers into a compact
+``bytes`` payload and back. Codecs are *block oriented*: the caller is
+expected to hand them bounded runs of values (the index layer uses blocks
+of up to 128 docID deltas, Section IV-A of the paper), and the caller is
+responsible for remembering the element count — exactly like the per-block
+metadata in the paper, which records the number of elements so the
+hardware decompressor knows when to stop.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Sequence, Type
+
+from repro.errors import CompressionError
+
+
+class Codec(ABC):
+    """Abstract integer-sequence compressor.
+
+    Subclasses must be stateless: ``encode``/``decode`` may be called
+    concurrently on the same instance. Each subclass declares:
+
+    * ``name`` — the short scheme identifier used throughout the paper
+      (``"BP"``, ``"VB"``, ...), also the registry key;
+    * ``max_value_bits`` — the widest value (in bits) the scheme can
+      represent. Values outside the range raise :class:`CompressionError`.
+    """
+
+    #: Registry key and display name ("BP", "VB", "PFD", ...).
+    name: str = "abstract"
+    #: Maximum representable value width in bits.
+    max_value_bits: int = 32
+
+    @abstractmethod
+    def encode(self, values: Sequence[int]) -> bytes:
+        """Compress ``values`` into a self-contained byte payload."""
+
+    @abstractmethod
+    def decode(self, data: bytes, count: int) -> List[int]:
+        """Recover exactly ``count`` values from ``data``.
+
+        ``count`` mirrors the "number of elements in the block" field of
+        the paper's 19-byte per-block metadata.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+
+    def _check_values(self, values: Sequence[int]) -> None:
+        """Validate that every value is a representable non-negative int."""
+        limit = 1 << self.max_value_bits
+        for v in values:
+            if v < 0:
+                raise CompressionError(
+                    f"{self.name}: negative value {v} is not encodable"
+                )
+            if v >= limit:
+                raise CompressionError(
+                    f"{self.name}: value {v} exceeds {self.max_value_bits}-bit limit"
+                )
+
+    def compressed_size(self, values: Sequence[int]) -> int:
+        """Return the encoded size in bytes (convenience for ratio studies)."""
+        return len(self.encode(values))
+
+    def compression_ratio(self, values: Sequence[int]) -> float:
+        """Uncompressed (4 B/value) size divided by encoded size.
+
+        This is the "compression ratio, higher is better" metric of
+        Figure 3 in the paper.
+        """
+        encoded = self.compressed_size(values)
+        if encoded == 0:
+            raise CompressionError(f"{self.name}: encoded zero bytes")
+        return (4 * len(values)) / encoded
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+class CodecRegistry:
+    """Name-keyed registry of codec classes.
+
+    The registry backs the ``compType`` argument of the paper's
+    :func:`repro.api.search` offloading call, which names the compression
+    scheme of each posting list, and the programmable decompression
+    module's scheme dispatch.
+    """
+
+    def __init__(self) -> None:
+        self._codecs: Dict[str, Type[Codec]] = {}
+
+    def register(self, codec_cls: Type[Codec]) -> Type[Codec]:
+        """Register ``codec_cls`` under its ``name``; usable as a decorator."""
+        name = codec_cls.name
+        if name in self._codecs:
+            raise CompressionError(f"codec {name!r} already registered")
+        self._codecs[name] = codec_cls
+        return codec_cls
+
+    def create(self, name: str) -> Codec:
+        """Instantiate the codec registered under ``name``."""
+        try:
+            return self._codecs[name]()
+        except KeyError:
+            known = ", ".join(sorted(self._codecs))
+            raise CompressionError(
+                f"unknown codec {name!r}; known codecs: {known}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """All registered codec names, sorted."""
+        return sorted(self._codecs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._codecs
+
+    def __iter__(self) -> Iterable[str]:
+        return iter(sorted(self._codecs))
+
+
+#: Process-wide default registry, populated by the codec modules on import.
+DEFAULT_REGISTRY = CodecRegistry()
+
+
+def get_codec(name: str) -> Codec:
+    """Instantiate a codec by scheme name from the default registry."""
+    return DEFAULT_REGISTRY.create(name)
+
+
+def list_codecs() -> List[str]:
+    """Names of every codec in the default registry."""
+    return DEFAULT_REGISTRY.names()

@@ -1,0 +1,78 @@
+"""Little-endian bit-stream reader/writer shared by the packed codecs.
+
+Bits are packed LSB-first within each byte: the first bit written lands in
+bit 0 of byte 0. This matches how a hardware extractor with a barrel
+shifter would consume the stream (paper Figure 6, stage 1) and keeps the
+byte layout independent of the host's endianness.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import CompressionError
+
+
+class BitWriter:
+    """Accumulates variable-width fields into a byte stream, LSB-first."""
+
+    def __init__(self) -> None:
+        self._bytes = bytearray()
+        self._accumulator = 0
+        self._bit_count = 0
+
+    def write(self, value: int, width: int) -> None:
+        """Append the low ``width`` bits of ``value``."""
+        if width < 0:
+            raise CompressionError(f"negative field width {width}")
+        if value < 0 or (width < value.bit_length()):
+            raise CompressionError(
+                f"value {value} does not fit in {width} bits"
+            )
+        self._accumulator |= value << self._bit_count
+        self._bit_count += width
+        while self._bit_count >= 8:
+            self._bytes.append(self._accumulator & 0xFF)
+            self._accumulator >>= 8
+            self._bit_count -= 8
+
+    def getvalue(self) -> bytes:
+        """Flush any partial byte (zero padded) and return the stream."""
+        out = bytearray(self._bytes)
+        if self._bit_count:
+            out.append(self._accumulator & 0xFF)
+        return bytes(out)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return 8 * len(self._bytes) + self._bit_count
+
+
+class BitReader:
+    """Reads variable-width fields from a byte stream written LSB-first."""
+
+    def __init__(self, data: bytes, offset: int = 0) -> None:
+        self._data = data
+        self._byte_pos = offset
+        self._accumulator = 0
+        self._bit_count = 0
+
+    def read(self, width: int) -> int:
+        """Consume and return the next ``width`` bits as an unsigned int."""
+        if width < 0:
+            raise CompressionError(f"negative field width {width}")
+        while self._bit_count < width:
+            if self._byte_pos >= len(self._data):
+                raise CompressionError("bit stream exhausted")
+            self._accumulator |= self._data[self._byte_pos] << self._bit_count
+            self._byte_pos += 1
+            self._bit_count += 8
+        value = self._accumulator & ((1 << width) - 1)
+        self._accumulator >>= width
+        self._bit_count -= width
+        return value
+
+    def read_many(self, width: int, count: int) -> List[int]:
+        """Read ``count`` consecutive fields of identical ``width``."""
+        return [self.read(width) for _ in range(count)]

@@ -1,0 +1,76 @@
+"""Group Varint (GVB) codec — an *extension* scheme beyond the paper's five.
+
+Group Varint (used by Google's early serving systems) packs four values
+per group: one control byte carries four 2-bit length fields (bytes per
+value, minus one), followed by the four little-endian payloads. Decoding
+is branch-light — which also makes it expressible on BOSS's programmable
+decompression module, demonstrating the paper's claim that "a new
+decompression scheme can also be supported if it can be expressed by
+composing those primitive units" (Section III-B). The matching stage-2
+program lives in :mod:`repro.decompressor.configs`.
+
+A trailing group with fewer than four values writes only the present
+payloads; the element count from the block metadata tells the decoder
+where to stop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.compression.base import DEFAULT_REGISTRY, Codec
+from repro.errors import CompressionError
+
+
+def _byte_length(value: int) -> int:
+    """Bytes needed for ``value`` (1..4)."""
+    if value < (1 << 8):
+        return 1
+    if value < (1 << 16):
+        return 2
+    if value < (1 << 24):
+        return 3
+    return 4
+
+
+@DEFAULT_REGISTRY.register
+class GroupVarintCodec(Codec):
+    """Four values per control byte, little-endian payloads."""
+
+    name = "GVB"
+    max_value_bits = 32
+
+    def encode(self, values: Sequence[int]) -> bytes:
+        self._check_values(values)
+        out = bytearray()
+        for start in range(0, len(values), 4):
+            group = values[start:start + 4]
+            control = 0
+            for slot, value in enumerate(group):
+                control |= (_byte_length(value) - 1) << (2 * slot)
+            out.append(control)
+            for value in group:
+                out.extend(value.to_bytes(_byte_length(value), "little"))
+        return bytes(out)
+
+    def decode(self, data: bytes, count: int) -> List[int]:
+        values: List[int] = []
+        position = 0
+        while len(values) < count:
+            if position >= len(data):
+                raise CompressionError(
+                    f"GVB: stream ended after {len(values)} of {count} values"
+                )
+            control = data[position]
+            position += 1
+            for slot in range(4):
+                if len(values) == count:
+                    break
+                length = ((control >> (2 * slot)) & 0x3) + 1
+                if position + length > len(data):
+                    raise CompressionError("GVB: truncated payload")
+                values.append(
+                    int.from_bytes(data[position:position + length], "little")
+                )
+                position += length
+        return values

@@ -1,0 +1,62 @@
+"""VariableByte (VB) codec.
+
+VB (Cutting & Pedersen [26] in the paper) encodes each integer as a run of
+bytes carrying 7 payload bits each, most-significant group first; the MSB
+of a byte is the *terminator* flag — it is set on the final byte of each
+value. This exact layout is what the paper's Figure 8 configuration
+program implements on the programmable decompression module:
+
+* ``AND(Input, 0x7F)`` extracts the 7 payload bits,
+* ``ADD(payload, SHL(Reg, 7))`` accumulates most-significant-first,
+* ``SHR(Input, 0x7)`` (the MSB) resets the accumulator, i.e. terminates
+  the current value.
+
+Values up to 32 bits therefore occupy one to five bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.compression.base import DEFAULT_REGISTRY, Codec
+from repro.errors import CompressionError
+
+
+@DEFAULT_REGISTRY.register
+class VarByteCodec(Codec):
+    """Byte-aligned 7-bit group coding with an MSB terminator flag."""
+
+    name = "VB"
+    max_value_bits = 32
+
+    def encode(self, values: Sequence[int]) -> bytes:
+        self._check_values(values)
+        out = bytearray()
+        for v in values:
+            groups = []
+            groups.append(v & 0x7F)
+            v >>= 7
+            while v:
+                groups.append(v & 0x7F)
+                v >>= 7
+            # Emit most-significant group first; terminator flag on last.
+            for group in reversed(groups[1:]):
+                out.append(group)
+            out.append(groups[0] | 0x80)
+        return bytes(out)
+
+    def decode(self, data: bytes, count: int) -> List[int]:
+        values: List[int] = []
+        current = 0
+        for byte in data:
+            current = (current << 7) | (byte & 0x7F)
+            if byte & 0x80:
+                values.append(current)
+                current = 0
+                if len(values) == count:
+                    break
+        if len(values) < count:
+            raise CompressionError(
+                f"VB: stream ended after {len(values)} of {count} values"
+            )
+        return values

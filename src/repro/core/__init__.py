@@ -1,0 +1,41 @@
+"""BOSS core: the paper's primary contribution.
+
+This package models the BOSS accelerator (Section IV): a near-data
+processing device sitting in the memory controller of an SCM memory node,
+with multiple BOSS cores, a command queue, a query scheduler, and a
+memory access interface. Each BOSS core pipelines six modules:
+
+block fetch -> decompression -> intersection/union -> scoring -> top-k
+
+The implementation is *functionally exact* — it returns the true BM25
+top-k for every query, with early termination proven safe by tests — and
+*performance modeled*: every module reports the work it performed and the
+SCM/interconnect traffic it generated, which the timing model converts
+into cycles and throughput.
+"""
+
+from repro.core.query import (
+    AndNode,
+    OrNode,
+    QueryNode,
+    TermNode,
+    classify_query,
+    parse_query,
+)
+from repro.core.topk import TopKQueue
+from repro.core.engine import BossAccelerator, BossConfig
+from repro.core.result import SearchResult, ScoredDocument
+
+__all__ = [
+    "AndNode",
+    "OrNode",
+    "QueryNode",
+    "TermNode",
+    "classify_query",
+    "parse_query",
+    "TopKQueue",
+    "BossAccelerator",
+    "BossConfig",
+    "SearchResult",
+    "ScoredDocument",
+]

@@ -1,0 +1,85 @@
+"""Group cursor: a union-view over several posting-list cursors.
+
+BOSS executes a mixed query such as ``A AND (B OR C OR D)`` (Table II's
+Q6) in a single pipelined pass: the OR-group's three posting lists behave
+like one merged stream that the intersection module consumes (the union
+module's 4-way merger feeding the intersection unit). A
+:class:`GroupCursor` provides exactly that view: its current docID is the
+minimum of its members' docIDs, and advancing it advances every member —
+so each underlying list is fetched at most once, with block skipping
+intact per member.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.cursor import ListCursor
+from repro.errors import SimulationError
+from repro.sim.metrics import WorkCounters
+
+
+class GroupCursor:
+    """Treats an OR-group of posting lists as one merged ascending stream."""
+
+    def __init__(self, members: Sequence[ListCursor],
+                 work: WorkCounters) -> None:
+        if not members:
+            raise SimulationError("group cursor needs at least one member")
+        self._members = list(members)
+        self._work = work
+
+    @property
+    def members(self) -> List[ListCursor]:
+        return self._members
+
+    @property
+    def document_frequency(self) -> int:
+        """Upper-bound df of the merged stream (sum of member dfs).
+
+        Used for SvS ordering; the true union cardinality is at most
+        this, which is the right pessimistic estimate for scheduling.
+        """
+        return sum(
+            m.posting_list.document_frequency for m in self._members
+        )
+
+    def current_doc(self) -> Optional[int]:
+        """Smallest docID across members, or None when all are exhausted."""
+        docs = [m.current_doc() for m in self._members if not m.exhausted]
+        self._work.merge_ops += max(0, len(docs) - 1)
+        return min(docs) if docs else None
+
+    def current_tfs(self) -> Dict[str, int]:
+        """Term -> tf for every member positioned at the current docID."""
+        doc = self.current_doc()
+        if doc is None:
+            raise SimulationError("group cursor exhausted")
+        return {
+            m.term: m.current_tf()
+            for m in self._members
+            if not m.exhausted and m.current_doc() == doc
+        }
+
+    def advance_to(self, target: int) -> Optional[int]:
+        """Advance every member to >= ``target``; return the new head."""
+        heads: List[int] = []
+        for member in self._members:
+            if member.exhausted:
+                continue
+            doc = member.current_doc()
+            if doc < target:
+                doc = member.advance_to(target)
+            if doc is not None:
+                heads.append(doc)
+        self._work.merge_ops += max(0, len(heads) - 1)
+        return min(heads) if heads else None
+
+    def step(self) -> None:
+        """Advance past the current (minimum) docID."""
+        doc = self.current_doc()
+        if doc is None:
+            raise SimulationError("group cursor exhausted")
+        for member in self._members:
+            if not member.exhausted and member.current_doc() == doc:
+                member.step()

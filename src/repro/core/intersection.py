@@ -1,0 +1,170 @@
+"""Intersection module: pipelined SvS with block-level overlap skipping.
+
+Implements the paper's intersection path (Sections III-B and IV-C):
+
+* **Small-versus-Small (SvS)**: posting lists are intersected from the
+  smallest pair up, so every later membership test runs against an
+  already-shrunk candidate set;
+* **overlap check unit**: a block is fetched only if its metadata docID
+  range ``[first, last]`` can overlap the other side's candidates
+  (Figure 5(a)(b)); non-overlapping blocks are skipped without touching
+  their payload;
+* **pipelined multi-term execution**: the intermediate docID/tf tuples of
+  each pairwise intersection stay in the pipeline (on-chip buffers) and
+  feed the block fetch module for the next term directly — no spill to
+  SCM, no reload (this is the "LD Inter / ST Inter" traffic BOSS
+  eliminates relative to IIU in Figure 15);
+* **sequential access**: candidate blocks are fetched in ascending docID
+  order, so the SCM device sees a sequential read stream (unlike IIU's
+  binary-search probes).
+
+The match set is exact; matched documents carry the per-term frequencies
+needed for BM25 scoring downstream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.cursor import ListCursor
+from repro.core.groups import GroupCursor
+from repro.errors import SimulationError
+from repro.sim.metrics import WorkCounters
+
+#: A matched document: docID plus tf per contributing term.
+Match = Tuple[int, Dict[str, int]]
+
+
+def run_intersection(cursors: Sequence[ListCursor],
+                     work: WorkCounters) -> List[Match]:
+    """Intersect all ``cursors`` and return matches with per-term tfs.
+
+    Cursors are processed in SvS order (ascending document frequency).
+    The returned matches are sorted by docID.
+    """
+    if not cursors:
+        raise SimulationError("intersection needs at least one term")
+    ordered = sorted(cursors,
+                     key=lambda c: c.posting_list.document_frequency)
+    if len(ordered) == 1:
+        matches = _drain_single(ordered[0], work)
+        work.docs_matched += len(matches)
+        return matches
+
+    matches = _intersect_pair(ordered[0], ordered[1], work)
+    for cursor in ordered[2:]:
+        if not matches:
+            break
+        matches = _refine(matches, cursor, work)
+    work.docs_matched += len(matches)
+    return matches
+
+
+def run_grouped_intersection(groups: Sequence[GroupCursor],
+                             work: WorkCounters) -> List[Match]:
+    """Intersect OR-groups: the mixed-query path (e.g. Q6).
+
+    Each group behaves as one merged posting stream (see
+    :class:`repro.core.groups.GroupCursor`); a document matches when
+    every group contains it. Groups are visited in SvS order of their
+    df upper bounds. Matches carry the tfs of *every* member list that
+    contains the document, so BM25 scoring is exact.
+    """
+    if not groups:
+        raise SimulationError("intersection needs at least one group")
+    ordered = sorted(groups, key=lambda g: g.document_frequency)
+
+    matches: List[Match] = []
+    driver = ordered[0]
+    others = ordered[1:]
+    doc = driver.current_doc()
+    while doc is not None:
+        work.merge_ops += 1
+        candidate = doc
+        in_all = True
+        for group in others:
+            landed = group.advance_to(candidate)
+            if landed is None:
+                doc = None
+                in_all = False
+                break
+            if landed != candidate:
+                # The other group jumped past the candidate: re-anchor the
+                # driver at the jump target.
+                doc = driver.advance_to(landed)
+                in_all = False
+                break
+        if doc is None:
+            break
+        if in_all:
+            tfs: Dict[str, int] = {}
+            tfs.update(driver.current_tfs())
+            for group in others:
+                tfs.update(group.current_tfs())
+            matches.append((candidate, tfs))
+            driver.step()
+            doc = driver.current_doc()
+    work.docs_matched += len(matches)
+    return matches
+
+
+def _drain_single(cursor: ListCursor, work: WorkCounters) -> List[Match]:
+    """Degenerate 1-term case: every posting matches."""
+    term = cursor.term
+    matches: List[Match] = []
+    while not cursor.exhausted:
+        doc = cursor.current_doc()
+        matches.append((doc, {term: cursor.current_tf()}))
+        work.merge_ops += 1
+        cursor.step()
+    return matches
+
+
+def _intersect_pair(small: ListCursor, large: ListCursor,
+                    work: WorkCounters) -> List[Match]:
+    """Two-way merge intersection with mutual block skipping.
+
+    Both cursors move strictly forward; ``advance_to`` skips whole blocks
+    via metadata whenever the other side's docID jumps past them, which
+    is exactly the overlap check unit's effect.
+    """
+    matches: List[Match] = []
+    doc_small = small.current_doc()
+    doc_large = large.current_doc()
+    while doc_small is not None and doc_large is not None:
+        work.merge_ops += 1
+        if doc_small == doc_large:
+            matches.append((
+                doc_small,
+                {small.term: small.current_tf(), large.term: large.current_tf()},
+            ))
+            small.step()
+            large.step()
+            doc_small = small.current_doc()
+            doc_large = large.current_doc()
+        elif doc_small < doc_large:
+            doc_small = small.advance_to(doc_large)
+        else:
+            doc_large = large.advance_to(doc_small)
+    return matches
+
+
+def _refine(matches: List[Match], cursor: ListCursor,
+            work: WorkCounters) -> List[Match]:
+    """Membership-test pipeline-resident matches against the next term.
+
+    The intermediate docIDs are fed back to the block fetch module
+    (Figure 5(b)): blocks of ``cursor`` whose range misses every
+    intermediate docID are skipped without fetching.
+    """
+    term = cursor.term
+    refined: List[Match] = []
+    for doc, tfs in matches:
+        work.merge_ops += 1
+        landed = cursor.advance_to(doc)
+        if landed is None:
+            break
+        if landed == doc:
+            tfs[term] = cursor.current_tf()
+            refined.append((doc, tfs))
+    return refined

@@ -1,0 +1,111 @@
+"""Hardware top-k selection module model.
+
+The paper's top-k module (Section IV-C) is a shift-register priority
+queue with ``k`` entries of (docID, query-score), sorted descending by
+score. An arriving entry is broadcast to all positions; each position
+locally decides to keep its value, shift, or latch the newcomer — an O(1)
+insert per arriving document at one document per cycle.
+
+:class:`TopKQueue` reproduces the *semantics* (including the tie rule:
+an incoming entry that ties the resident score ranks below it, i.e.
+earlier-arriving documents win ties) while counting inserts for the
+timing model. The functional result is verified in tests against a
+software heap.
+
+The queue also exposes :attr:`cutoff` — the lowest score currently in the
+top-k — which feeds the early-termination logic of the block fetch and
+union modules ("current cutoff" in the paper).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+#: The paper's default k (Section IV-C: "By default, k is set to 1000").
+DEFAULT_K = 1000
+
+
+class TopKQueue:
+    """Fixed-capacity descending-score priority queue.
+
+    Entries are ``(score, doc_id)``. The queue keeps the ``k`` highest
+    scores seen; ties are broken in favor of the earlier-arriving (and on
+    simultaneous arrival, lower-docID) document, matching a shift-register
+    implementation where an equal-score newcomer is inserted *after* the
+    residents.
+    """
+
+    def __init__(self, k: int = DEFAULT_K) -> None:
+        if k <= 0:
+            raise ConfigurationError(f"k must be positive, got {k}")
+        self._k = k
+        # Ascending list of (score, -arrival) so that index 0 is the
+        # eviction candidate. We track arrival order to implement the
+        # first-wins tie rule.
+        self._entries: List[Tuple[float, int, int]] = []  # (score, -seq, doc)
+        self._sequence = 0
+        self._inserts = 0
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def size(self) -> int:
+        return len(self._entries)
+
+    @property
+    def inserts(self) -> int:
+        """Number of insert operations processed (timing model input)."""
+        return self._inserts
+
+    @property
+    def cutoff(self) -> float:
+        """Score of the lowest-ranked entry in the current top-k.
+
+        Zero while the queue is not yet full — any positive score can
+        still enter, so no early termination is possible (the hardware's
+        cutoff register starts at 0).
+        """
+        if len(self._entries) < self._k:
+            return 0.0
+        return self._entries[0][0]
+
+    def offer(self, doc_id: int, score: float) -> bool:
+        """Submit a scored document; returns True if it entered the queue.
+
+        An entry enters only if its score strictly exceeds the cutoff
+        (ties lose to residents, as in the shift-register design).
+        """
+        self._inserts += 1
+        if len(self._entries) < self._k:
+            insort(self._entries, (score, -self._sequence, doc_id))
+            self._sequence += 1
+            return True
+        if score <= self._entries[0][0]:
+            return False
+        self._entries.pop(0)
+        insort(self._entries, (score, -self._sequence, doc_id))
+        self._sequence += 1
+        return True
+
+    def results(self) -> List[Tuple[int, float]]:
+        """Final ``(docID, score)`` list, best first.
+
+        Ties are ordered by arrival (earlier first), matching the shift
+        order of the hardware queue.
+        """
+        return [
+            (doc_id, score)
+            for score, _neg_seq, doc_id in sorted(
+                self._entries, key=lambda e: (-e[0], -e[1])
+            )
+        ]
+
+    @property
+    def result_bytes(self) -> int:
+        """Bytes shipped to the host: 4 B docID + 4 B score per entry."""
+        return 8 * len(self._entries)

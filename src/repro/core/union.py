@@ -1,0 +1,195 @@
+"""Union module: hardware WAND with block-level early termination.
+
+Implements the paper's two-level early termination for union queries
+(Sections III-B and IV-C):
+
+* **document-level** (the union module proper): WAND pivoting over the
+  whole-list maximum term-scores, pre-computed per term (the module's
+  lookup table). Documents whose upper-bound query-score cannot beat the
+  current top-k cutoff are popped without scoring.
+* **block-level** (the block-fetch module's score-estimation unit):
+  before a candidate's blocks are fetched, the sum of the *per-block*
+  maximum term-scores of the blocks overlapping the candidate is compared
+  against the cutoff; if it cannot win, the whole docID interval up to
+  the nearest block boundary is skipped and those blocks are never
+  loaded. This is the BlockMaxWAND / interval-based-pruning hybrid the
+  paper cites.
+
+Both levels are *safe*: the returned top-k is provably identical to
+exhaustive evaluation (tested against brute force). Each level can be
+disabled independently to reproduce the paper's ablations
+(``BOSS-exhaustive`` in Figure 13, ``BOSS-block-only`` in Figure 14).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.cursor import ListCursor
+from repro.core.topk import TopKQueue
+from repro.index.bm25 import BM25Scorer
+from repro.sim.metrics import WorkCounters
+
+#: Upper bounds are inflated by this margin before comparing against the
+#: cutoff so that floating-point summation order can never make a true
+#: candidate look prunable (safety epsilon; bounds are mathematically >=
+#: any achievable score, the epsilon only absorbs rounding).
+ET_EPSILON = 1e-9
+
+
+def run_union(cursors: Sequence[ListCursor], scorer: BM25Scorer,
+              topk: TopKQueue, work: WorkCounters,
+              et_block: bool = True, et_wand: bool = True,
+              interval_blocks: int = 1) -> None:
+    """Execute a union query over ``cursors``, feeding ``topk``.
+
+    Parameters
+    ----------
+    cursors:
+        One accounting cursor per query term (any number; the hardware
+        chains 4-way mergers across cores for more than 4 terms).
+    scorer:
+        BM25 scorer bound to the corpus.
+    topk:
+        The hardware top-k queue; its ``cutoff`` drives both ET levels.
+    work:
+        Work counters to update.
+    et_block / et_wand:
+        Enable the block-level (score-estimation unit) and document-level
+        (WAND pivoting) early termination respectively.
+    interval_blocks:
+        Pruning-interval length in blocks for the score-estimation unit
+        (1 = per-block bounds; larger values are the paper's "longer
+        intervals" — looser bounds, longer skips).
+    """
+    alive: List[ListCursor] = [c for c in cursors if not c.exhausted]
+
+    while alive:
+        # (1) The sorter orders posting-list queues by their sID (the
+        # smallest unevaluated docID per term).
+        alive.sort(key=_sort_key)
+        alive = [c for c in alive if not c.exhausted]
+        if not alive:
+            break
+        # The sorter is a parallel comparator network over at most four
+        # queue heads: one scheduling decision per cycle.
+        work.merge_ops += 1
+
+        # (2)+(3) Score loader + pivot selector: find the first position
+        # whose prefix list-max sum beats the cutoff.
+        pivot_index = _select_pivot(alive, topk.cutoff, et_wand)
+        if pivot_index is None:
+            # No document can reach the top-k anymore: terminate early.
+            return
+        pivot_doc = alive[pivot_index].current_doc()
+        # Absorb ties so every list at the pivot docID is in the pivot set.
+        while (
+            pivot_index + 1 < len(alive)
+            and alive[pivot_index + 1].current_doc() == pivot_doc
+        ):
+            pivot_index += 1
+        pivot_set = alive[: pivot_index + 1]
+
+        # Block-level check (score-estimation unit in the block fetch
+        # module): sum the max term-scores of the blocks that overlap the
+        # pivot document.
+        if et_block:
+            block_bound, min_boundary = _block_upper_bound(
+                pivot_set, pivot_doc, interval_blocks
+            )
+            if block_bound + ET_EPSILON <= topk.cutoff:
+                _skip_interval(alive, pivot_index, pivot_doc, min_boundary)
+                alive = [c for c in alive if not c.exhausted]
+                continue
+
+        # (4) Document scheduler: evaluate the pivot if every preceding
+        # queue has reached it; otherwise pop the skippable docIDs.
+        first_doc = alive[0].current_doc()
+        if first_doc == pivot_doc:
+            _evaluate_pivot(pivot_set, pivot_doc, scorer, topk, work)
+        else:
+            for cursor in pivot_set:
+                if cursor.current_doc() < pivot_doc:
+                    cursor.advance_to(pivot_doc)
+        alive = [c for c in alive if not c.exhausted]
+
+
+def _sort_key(cursor: ListCursor) -> Tuple[int, float]:
+    doc = cursor.current_doc()
+    return (doc if doc is not None else 1 << 62, -cursor.list_max_score)
+
+
+def _select_pivot(alive: Sequence[ListCursor], cutoff: float,
+                  et_wand: bool) -> Optional[int]:
+    """Index of the pivot list, or None when ET proves nothing can win.
+
+    With document-level ET disabled, every document is a candidate, so
+    the pivot is always the first list (exhaustive evaluation order).
+    """
+    if not et_wand:
+        return 0
+    upper_bound = 0.0
+    for index, cursor in enumerate(alive):
+        upper_bound += cursor.list_max_score
+        if upper_bound + ET_EPSILON > cutoff:
+            return index
+    return None
+
+
+def _block_upper_bound(pivot_set: Sequence[ListCursor], pivot_doc: int,
+                       interval_blocks: int) -> Tuple[float, int]:
+    """Sum of per-interval max scores at the pivot across the pivot set.
+
+    Returns ``(bound, min_boundary)`` where ``min_boundary`` is the
+    smallest interval-end docID among the inspected intervals — the
+    point up to which the bound stays valid.
+    """
+    bound = 0.0
+    min_boundary = 1 << 62
+    for cursor in pivot_set:
+        peek = cursor.peek_block_at(pivot_doc, window=interval_blocks)
+        if peek is None:
+            continue
+        max_score, block_last = peek
+        bound += max_score
+        min_boundary = min(min_boundary, block_last)
+    return bound, min_boundary
+
+
+def _skip_interval(alive: Sequence[ListCursor], pivot_index: int,
+                   pivot_doc: int, min_boundary: int) -> None:
+    """Skip the interval that the block check proved fruitless.
+
+    Safe up to ``d = min(min_boundary + 1, sID of the list after the
+    pivot set)``: beyond the first bound a new block (with a new maximum)
+    begins; beyond the second a new list joins the candidate set.
+    """
+    d = min_boundary + 1
+    if pivot_index + 1 < len(alive):
+        next_doc = alive[pivot_index + 1].current_doc()
+        if next_doc is not None:
+            d = min(d, next_doc)
+    # Progress guarantee: the pivot set's blocks all end at or after the
+    # pivot, so d > pivot_doc >= every pivot-set sID. advance_to defers
+    # the payload fetch whenever d lands on a block boundary.
+    for cursor in alive[: pivot_index + 1]:
+        cursor.advance_to(d)
+
+
+def _evaluate_pivot(pivot_set: Sequence[ListCursor], pivot_doc: int,
+                    scorer: BM25Scorer, topk: TopKQueue,
+                    work: WorkCounters) -> None:
+    """Full scoring of the pivot document (the scoring module path)."""
+    score = 0.0
+    for cursor in pivot_set:
+        if cursor.current_doc() == pivot_doc:
+            score += scorer.term_score(
+                cursor.idf, cursor.current_tf(), pivot_doc
+            )
+    work.docs_evaluated += 1
+    work.docs_matched += 1
+    work.topk_inserts += 1
+    topk.offer(pivot_doc, score)
+    for cursor in pivot_set:
+        if not cursor.exhausted and cursor.current_doc() == pivot_doc:
+            cursor.step()

@@ -1,0 +1,32 @@
+"""Programmable decompression module (paper Figures 6 and 8).
+
+BOSS decodes many compression schemes on one datapath by splitting
+decompression into four canonical stages:
+
+1. **extract** — slice payload units out of the serialized bitstream
+   (fixed-width fields, bytes, or 32/64-bit selector words);
+2. **manipulate** — a *programmable* network of primitive units (shift,
+   mask, add, accumulate-register, selector-unpack) wired together by a
+   configuration program;
+3. **exception** — patch PFD-style exception values back into the
+   stream;
+4. **delta** — undo d-gap encoding by accumulating a running docID.
+
+Stage 2 is configured with a small structural program in the style of
+Figure 8 (``wire1 := AND(Input, 0x7F)`` ...); the other stages take
+plain parameters. :data:`repro.decompressor.configs.BUILTIN_PROGRAMS`
+ships one program per paper scheme, and tests verify that the module
+decodes *bit-identically* to the software codecs.
+"""
+
+from repro.decompressor.pipeline import DecompressionModule
+from repro.decompressor.program import DecompressorProgram, parse_program
+from repro.decompressor.configs import BUILTIN_PROGRAMS, program_for_scheme
+
+__all__ = [
+    "DecompressionModule",
+    "DecompressorProgram",
+    "parse_program",
+    "BUILTIN_PROGRAMS",
+    "program_for_scheme",
+]

@@ -1,0 +1,179 @@
+"""Built-in configuration programs, one per paper compression scheme.
+
+These are the programs ``init()`` ships to BOSS so the decompression
+module can decode whichever scheme each posting list selected (the
+``compType`` of the ``search()`` call). The VB program is the paper's
+Figure 8 example; the others parameterize the fixed stages and, for the
+Simple family, the stage-2 selector unpacker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.compression.simple8b import S8B_MODES
+from repro.compression.simple16 import S16_MODES
+from repro.decompressor.program import DecompressorProgram, parse_program
+from repro.errors import DecompressorProgramError
+
+#: Figure 8: VariableByte. One byte per cycle; the accumulator shifts
+#: seven bits per byte and the MSB terminates (emits + resets).
+VB_PROGRAM_TEXT = """
+# Stage 1
+extractor.mode = byte
+# Stage 2
+reg Reg = 0
+wire1 := AND(Input, 0x7F)
+wire2 := SHL(Reg, 0x7)
+wire3 := ADD(wire1, wire2)
+Reg := wire3
+Output := wire3
+Output.valid := SHR(Input, 0x7)
+reset := SHR(Input, 0x7)
+# Stage 3
+exceptions = none
+# Stage 4
+use_delta = 0
+"""
+
+#: Bit-Packing: fixed-width fields behind a one-byte width header;
+#: stage 2 is a pass-through wire.
+BP_PROGRAM_TEXT = """
+# Stage 1
+extractor.mode = fixed
+extractor.header_bytes = 1
+# Stage 2
+Output := Input
+# Stage 3
+exceptions = none
+# Stage 4
+use_delta = 0
+"""
+
+#: PForDelta / OptPForDelta: patched frames; stage 3 ORs the exception
+#: high bits back in. (Both schemes share one decode program — they
+#: differ only in how the *encoder* picks the frame width.)
+PFD_PROGRAM_TEXT = """
+# Stage 1
+extractor.mode = patched
+# Stage 2
+Output := Input
+# Stage 3
+exceptions = patch
+# Stage 4
+use_delta = 0
+"""
+
+#: Simple16: 32-bit selector words through the stage-2 unpacker.
+S16_PROGRAM_TEXT = """
+# Stage 1
+extractor.mode = word32
+# Stage 2
+selector_bits = 4
+Output := UNPACK(Input)
+# Stage 3
+exceptions = none
+# Stage 4
+use_delta = 0
+"""
+
+#: Simple8b: 64-bit selector words; zero-run rows handled by the table.
+S8B_PROGRAM_TEXT = """
+# Stage 1
+extractor.mode = word64
+# Stage 2
+selector_bits = 4
+Output := UNPACK(Input)
+# Stage 3
+exceptions = none
+# Stage 4
+use_delta = 0
+"""
+
+
+#: Extension scheme: Group Varint. Each control byte's four 2-bit
+#: fields give the byte lengths of the next four little-endian values.
+#: The program is a five-register state machine over the byte stream —
+#: pure shift/mask/add/compare/mux primitives, demonstrating that new
+#: schemes compose from the module's primitive units (Section III-B).
+GVB_PROGRAM_TEXT = """
+# Stage 1
+extractor.mode = byte
+# Stage 2
+reg Ctrl = 0
+reg Count = 0
+reg Remain = 0
+reg Acc = 0
+reg Shift = 0
+isctrl := EQ(Count, 0)
+Ctrl := MUX(isctrl, Input, Ctrl)
+Count := MUX(isctrl, 4, Count)
+lenbits := AND(Ctrl, 3)
+len0 := ADD(lenbits, 1)
+Remain := MUX(isctrl, len0, Remain)
+Acc := MUX(isctrl, 0, Acc)
+Shift := MUX(isctrl, 0, Shift)
+isdata := EQ(isctrl, 0)
+shifted := SHL(Input, Shift)
+contrib := MUX(isdata, shifted, 0)
+Acc := ADD(Acc, contrib)
+step8 := MUX(isdata, 8, 0)
+Shift := ADD(Shift, step8)
+dec := MUX(isdata, 1, 0)
+Remain := SUB(Remain, dec)
+remzero := EQ(Remain, 0)
+done := AND(isdata, remzero)
+Output := Acc
+Output.valid := done
+Count := SUB(Count, done)
+shr2 := SHR(Ctrl, 2)
+Ctrl := MUX(done, shr2, Ctrl)
+nextbits := AND(Ctrl, 3)
+nextlen := ADD(nextbits, 1)
+more := GT(Count, 0)
+loadnext := AND(done, more)
+Remain := MUX(loadnext, nextlen, Remain)
+Acc := MUX(done, 0, Acc)
+Shift := MUX(done, 0, Shift)
+# Stage 3
+exceptions = none
+# Stage 4
+use_delta = 0
+"""
+
+
+def _build() -> Dict[str, DecompressorProgram]:
+    programs: Dict[str, DecompressorProgram] = {}
+    programs["VB"] = parse_program(VB_PROGRAM_TEXT, name="VB")
+    programs["BP"] = parse_program(BP_PROGRAM_TEXT, name="BP")
+    pfd = parse_program(PFD_PROGRAM_TEXT, name="PFD")
+    programs["PFD"] = pfd
+    programs["OptPFD"] = parse_program(PFD_PROGRAM_TEXT, name="OptPFD")
+    s16 = parse_program(S16_PROGRAM_TEXT, name="S16")
+    s16.mode_table = S16_MODES
+    programs["S16"] = s16
+    s8b = parse_program(S8B_PROGRAM_TEXT, name="S8b")
+    # S8b's two zero-run selectors are (0, run_length) rows; uniform
+    # rows expand to per-field width lists.
+    s8b.mode_table = tuple(
+        (0, capacity) if width == 0 else (width,) * capacity
+        for width, capacity in S8B_MODES
+    )
+    programs["S8b"] = s8b
+    programs["GVB"] = parse_program(GVB_PROGRAM_TEXT, name="GVB")
+    return programs
+
+
+#: Scheme name -> ready-to-run program.
+BUILTIN_PROGRAMS: Dict[str, DecompressorProgram] = _build()
+
+
+def program_for_scheme(scheme: str) -> DecompressorProgram:
+    """The built-in program decoding ``scheme``'s payloads."""
+    try:
+        return BUILTIN_PROGRAMS[scheme]
+    except KeyError:
+        known = ", ".join(sorted(BUILTIN_PROGRAMS))
+        raise DecompressorProgramError(
+            f"no built-in program for scheme {scheme!r}; known: {known}"
+        ) from None

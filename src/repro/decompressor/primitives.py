@@ -1,0 +1,125 @@
+"""Primitive units available to the stage-2 manipulation network.
+
+These are the hardware building blocks the paper's programmable stage
+composes through its MUX/DEMUX array: shifters, maskers, adders, and a
+selector-driven unpacker (the word-splitting structure Simple16/Simple8b
+need). Each primitive is a pure function on 64-bit unsigned values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import DecompressorProgramError
+
+_MASK64 = (1 << 64) - 1
+
+
+def _and(a: int, b: int) -> int:
+    return a & b
+
+
+def _or(a: int, b: int) -> int:
+    return a | b
+
+
+def _xor(a: int, b: int) -> int:
+    return a ^ b
+
+
+def _add(a: int, b: int) -> int:
+    return (a + b) & _MASK64
+
+
+def _sub(a: int, b: int) -> int:
+    return (a - b) & _MASK64
+
+
+def _shl(a: int, b: int) -> int:
+    if b >= 64:
+        return 0
+    return (a << b) & _MASK64
+
+
+def _shr(a: int, b: int) -> int:
+    if b >= 64:
+        return 0
+    return a >> b
+
+
+def _eq(a: int, b: int) -> int:
+    return 1 if a == b else 0
+
+
+def _lt(a: int, b: int) -> int:
+    return 1 if a < b else 0
+
+
+def _gt(a: int, b: int) -> int:
+    return 1 if a > b else 0
+
+
+def _mux(cond: int, a: int, b: int) -> int:
+    return a if cond else b
+
+
+#: Operation name -> (arity, implementation).
+BINARY_OPS: Dict[str, Tuple[int, Callable[..., int]]] = {
+    "AND": (2, _and),
+    "OR": (2, _or),
+    "XOR": (2, _xor),
+    "ADD": (2, _add),
+    "SUB": (2, _sub),
+    "SHL": (2, _shl),
+    "SHR": (2, _shr),
+    "EQ": (2, _eq),
+    "LT": (2, _lt),
+    "GT": (2, _gt),
+    "MUX": (3, _mux),
+}
+
+
+def apply_op(name: str, args: Sequence[int]) -> int:
+    """Apply a primitive by name, validating arity."""
+    try:
+        arity, fn = BINARY_OPS[name]
+    except KeyError:
+        known = ", ".join(sorted(BINARY_OPS))
+        raise DecompressorProgramError(
+            f"unknown primitive {name!r}; known: {known}"
+        ) from None
+    if len(args) != arity:
+        raise DecompressorProgramError(
+            f"{name} expects {arity} operands, got {len(args)}"
+        )
+    return fn(*args)
+
+
+def unpack_word(word: int, selector_bits: int,
+                mode_table: Sequence[Sequence[int]]) -> List[int]:
+    """Selector-driven field unpacker (the S16/S8b stage-2 structure).
+
+    The low ``selector_bits`` of ``word`` index ``mode_table``; the
+    remaining payload is split into that mode's field widths, LSB-first.
+    A field width of 0 denotes a run-length mode: the table row is
+    ``(0, run_length)`` and the unpacker emits that many zeros.
+    """
+    selector = word & ((1 << selector_bits) - 1)
+    if selector >= len(mode_table):
+        raise DecompressorProgramError(
+            f"selector {selector} outside mode table of {len(mode_table)}"
+        )
+    row = mode_table[selector]
+    if row and row[0] == 0:
+        # Zero-run mode: (0, run_length).
+        if len(row) != 2:
+            raise DecompressorProgramError(
+                "zero-run mode rows must be (0, run_length)"
+            )
+        return [0] * row[1]
+    payload = word >> selector_bits
+    values: List[int] = []
+    for width in row:
+        values.append(payload & ((1 << width) - 1))
+        payload >>= width
+    return values

@@ -1,0 +1,193 @@
+"""Configuration-program parser for the decompression module.
+
+The paper configures the module with a text file split into four
+sections, one per pipeline stage (Figure 8). Stages 1, 3 and 4 are fixed
+datapaths with parameters; stage 2 is structural — assignments wiring
+primitive units together, one evaluation per payload unit:
+
+.. code-block:: text
+
+    # Stage 1
+    extractor.mode = byte          # byte | fixed | patched | word32 | word64
+    extractor.header_bytes = 0     # fixed: per-block width header size
+    # Stage 2
+    reg Reg = 0
+    wire1 := AND(Input, 0x7F)
+    wire2 := SHL(Reg, 0x7)
+    wire3 := ADD(wire1, wire2)
+    Reg := wire3
+    Output := wire3
+    Output.valid := SHR(Input, 0x7)
+    reset := SHR(Input, 0x7)
+    # Stage 3
+    exceptions = none              # none | patch
+    # Stage 4
+    use_delta = 1
+
+Stage-2 semantics per unit ("cycle"): statements evaluate top to bottom;
+``Input`` is the current payload unit; registers (declared with ``reg``)
+carry values between cycles; ``Output``/``Output.valid`` control
+emission; a non-zero ``reset`` restores all registers to their initial
+values at the end of the cycle. ``Output := UNPACK(Input)`` invokes the
+selector-table unpacker (mode table supplied as a stage-2 parameter).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import DecompressorProgramError
+
+#: Stage-1 extractor modes.
+EXTRACTOR_MODES = ("byte", "fixed", "patched", "word32", "word64")
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One stage-2 assignment: ``target := OP(args)`` or ``target := ident``."""
+
+    target: str
+    op: Optional[str]  # None for a plain copy
+    args: Tuple[Union[str, int], ...]
+
+
+@dataclass
+class DecompressorProgram:
+    """Parsed four-stage configuration."""
+
+    # Stage 1
+    extractor_mode: str = "byte"
+    header_bytes: int = 0
+    # Stage 2
+    registers: Dict[str, int] = field(default_factory=dict)
+    statements: List[Statement] = field(default_factory=list)
+    selector_bits: int = 0
+    mode_table: Optional[Sequence[Sequence[int]]] = None
+    # Stage 3
+    exceptions: str = "none"
+    # Stage 4
+    use_delta: bool = True
+    #: Display name (scheme) for diagnostics.
+    name: str = "custom"
+
+    def validate(self) -> None:
+        if self.extractor_mode not in EXTRACTOR_MODES:
+            raise DecompressorProgramError(
+                f"unknown extractor mode {self.extractor_mode!r}"
+            )
+        if self.exceptions not in ("none", "patch"):
+            raise DecompressorProgramError(
+                f"unknown exception mode {self.exceptions!r}"
+            )
+        if self.exceptions == "patch" and self.extractor_mode != "patched":
+            raise DecompressorProgramError(
+                "exception patching requires the patched extractor"
+            )
+        # A missing UNPACK mode table is checked at execution time, so a
+        # program can be parsed first and have its table attached after
+        # (tables are data, not config-file syntax).
+        uses_unpack = any(s.op == "UNPACK" for s in self.statements)
+        targets = {s.target for s in self.statements}
+        if "Output" not in targets and not uses_unpack:
+            raise DecompressorProgramError("program never assigns Output")
+
+
+_SECTION_RE = re.compile(r"#\s*stage\s*([1-4])", re.IGNORECASE)
+_PARAM_RE = re.compile(r"^([A-Za-z_.]+)\s*=\s*(\S+)$")
+_REG_RE = re.compile(r"^reg\s+([A-Za-z_]\w*)\s*=\s*(\S+)$")
+_ASSIGN_RE = re.compile(
+    r"^([A-Za-z_][\w.]*)\s*:=\s*"
+    r"(?:([A-Z][A-Z0-9]*)\(([^)]*)\)|([A-Za-z_]\w*|0x[0-9a-fA-F]+|\d+))$"
+)
+
+
+def _parse_value(token: str) -> Union[str, int]:
+    token = token.strip()
+    if token.startswith("0x") or token.startswith("0X"):
+        return int(token, 16)
+    if token.isdigit():
+        return int(token)
+    return token
+
+
+def parse_program(text: str, name: str = "custom") -> DecompressorProgram:
+    """Parse a configuration file into a :class:`DecompressorProgram`."""
+    program = DecompressorProgram(name=name)
+    section = 0
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        section_match = _SECTION_RE.search(line)
+        if line.startswith("#"):
+            if section_match:
+                section = int(section_match.group(1))
+            continue
+        if section == 0:
+            raise DecompressorProgramError(
+                f"statement before any stage header: {line!r}"
+            )
+        if section == 1:
+            _parse_stage1(program, line)
+        elif section == 2:
+            _parse_stage2(program, line)
+        elif section == 3:
+            _parse_stage3(program, line)
+        else:
+            _parse_stage4(program, line)
+    program.validate()
+    return program
+
+
+def _parse_stage1(program: DecompressorProgram, line: str) -> None:
+    match = _PARAM_RE.match(line)
+    if not match:
+        raise DecompressorProgramError(f"bad stage-1 parameter: {line!r}")
+    key, value = match.groups()
+    if key == "extractor.mode":
+        program.extractor_mode = value
+    elif key == "extractor.header_bytes":
+        program.header_bytes = int(value)
+    else:
+        raise DecompressorProgramError(f"unknown stage-1 key {key!r}")
+
+
+def _parse_stage2(program: DecompressorProgram, line: str) -> None:
+    reg_match = _REG_RE.match(line)
+    if reg_match:
+        name, init = reg_match.groups()
+        program.registers[name] = int(_parse_value(init))
+        return
+    param_match = _PARAM_RE.match(line)
+    if param_match and param_match.group(1) == "selector_bits":
+        program.selector_bits = int(param_match.group(2))
+        return
+    assign_match = _ASSIGN_RE.match(line)
+    if not assign_match:
+        raise DecompressorProgramError(f"bad stage-2 statement: {line!r}")
+    target, op, arg_text, ident = assign_match.groups()
+    if op is not None:
+        args = tuple(
+            _parse_value(a) for a in arg_text.split(",") if a.strip()
+        )
+        program.statements.append(Statement(target, op, args))
+    else:
+        program.statements.append(
+            Statement(target, None, (_parse_value(ident),))
+        )
+
+
+def _parse_stage3(program: DecompressorProgram, line: str) -> None:
+    match = _PARAM_RE.match(line)
+    if not match or match.group(1) != "exceptions":
+        raise DecompressorProgramError(f"bad stage-3 parameter: {line!r}")
+    program.exceptions = match.group(2)
+
+
+def _parse_stage4(program: DecompressorProgram, line: str) -> None:
+    match = _PARAM_RE.match(line)
+    if not match or match.group(1) != "use_delta":
+        raise DecompressorProgramError(f"bad stage-4 parameter: {line!r}")
+    program.use_delta = bool(int(match.group(2)))

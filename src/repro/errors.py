@@ -1,0 +1,45 @@
+"""Exception hierarchy for the BOSS reproduction library.
+
+Every error raised by ``repro`` derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still
+distinguishing the failure domain (compression, query parsing, simulation
+configuration, ...) when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class CompressionError(ReproError):
+    """A codec could not encode or decode a block of integers."""
+
+
+class DecompressorProgramError(ReproError):
+    """A decompression-module configuration program is malformed."""
+
+
+class IndexError_(ReproError):
+    """An inverted index is malformed or an operation on it is invalid.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError``; exported as ``InvertedIndexError`` from the package root.
+    """
+
+
+class QueryError(ReproError):
+    """A query expression could not be parsed or is unsupported."""
+
+
+class ConfigurationError(ReproError):
+    """A simulator or device configuration is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The performance model reached an inconsistent state."""
+
+
+# Public alias: the name users should import.
+InvertedIndexError = IndexError_

@@ -1,0 +1,28 @@
+"""Hardware cost model: area, power (Table III) and energy (Figure 17).
+
+The paper synthesizes BOSS from Chisel RTL at TSMC 40 nm; since RTL
+synthesis is outside a Python reproduction, the reported area/power
+numbers are carried as model constants and combined with the timing
+model's runtimes to reproduce the energy comparison (``E = P × t``).
+"""
+
+from repro.hwmodel.area_power import (
+    BOSS_CORE_BREAKDOWN,
+    BOSS_DEVICE_BREAKDOWN,
+    CPU_PACKAGE_POWER_W,
+    ComponentCost,
+    boss_core_totals,
+    boss_device_totals,
+)
+from repro.hwmodel.energy import EnergyModel, EnergyReport
+
+__all__ = [
+    "ComponentCost",
+    "BOSS_CORE_BREAKDOWN",
+    "BOSS_DEVICE_BREAKDOWN",
+    "CPU_PACKAGE_POWER_W",
+    "boss_core_totals",
+    "boss_device_totals",
+    "EnergyModel",
+    "EnergyReport",
+]

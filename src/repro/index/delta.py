@@ -1,0 +1,255 @@
+"""Near-real-time updates: a delta segment over the read-only index.
+
+The paper (Section II-B): "Once created, the inverted list is a
+(mostly) read-only data structure." The *mostly* is this module: new
+documents land in a small, uncompressed in-memory *delta segment*;
+queries evaluate over both the compressed base (on the accelerator) and
+the delta (a software scan — it is tiny by construction); a periodic
+``merge()`` folds the delta into a fresh compressed base, exactly the
+segment-and-compaction pattern production engines use.
+
+Because base and delta hold *disjoint docID ranges*, every boolean
+query decomposes cleanly: a document matches the query within its own
+segment, so the final answer is a top-k merge of the two segments'
+results (the same argument that makes interval sharding exact).
+
+Scoring note: delta documents are scored with the *base* corpus
+statistics (N, avgdl, per-term IDF where the term exists in the base).
+This is the standard near-real-time approximation — statistics refresh
+at merge time; tests pin the post-merge equivalence with a from-scratch
+build.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core.query import AndNode, QueryNode, TermNode, flatten, parse_query
+from repro.core.result import ScoredDocument, SearchResult
+from repro.core.topk import TopKQueue
+from repro.errors import ConfigurationError, QueryError
+from repro.index.builder import IndexBuilder
+from repro.index.index import InvertedIndex
+
+
+class DeltaSegment:
+    """Uncompressed in-memory tail of newly added documents."""
+
+    def __init__(self, first_doc_id: int) -> None:
+        self.first_doc_id = first_doc_id
+        self._doc_terms: List[Counter] = []
+        self._doc_lengths: List[int] = []
+        #: term -> list of (docID, tf), append-ordered (ascending docID).
+        self._postings: Dict[str, List] = {}
+
+    @property
+    def num_docs(self) -> int:
+        return len(self._doc_terms)
+
+    @property
+    def terms(self) -> List[str]:
+        return sorted(self._postings)
+
+    def add_document(self, tokens: Sequence[str]) -> int:
+        token_list = list(tokens)
+        if not token_list:
+            raise ConfigurationError("cannot index an empty document")
+        doc_id = self.first_doc_id + len(self._doc_terms)
+        counts = Counter(token_list)
+        self._doc_terms.append(counts)
+        self._doc_lengths.append(len(token_list))
+        for term, tf in counts.items():
+            self._postings.setdefault(term, []).append((doc_id, tf))
+        return doc_id
+
+    def postings(self, term: str) -> List:
+        return self._postings.get(term, [])
+
+    def doc_length(self, doc_id: int) -> int:
+        return self._doc_lengths[doc_id - self.first_doc_id]
+
+    def doc_counts(self, doc_id: int) -> Counter:
+        return self._doc_terms[doc_id - self.first_doc_id]
+
+    def documents(self) -> List[Sequence[str]]:
+        """Token multisets, reconstructed for merging."""
+        out = []
+        for counts in self._doc_terms:
+            tokens: List[str] = []
+            for term, tf in sorted(counts.items()):
+                tokens.extend([term] * tf)
+            out.append(tokens)
+        return out
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._postings
+
+
+class DeltaIndex:
+    """A compressed base index plus a live delta segment.
+
+    Parameters
+    ----------
+    engine:
+        First-stage engine over the base index (BOSS/IIU/Lucene model).
+    """
+
+    def __init__(self, engine) -> None:
+        self._engine = engine
+        self._base: InvertedIndex = engine.index
+        self._delta = DeltaSegment(first_doc_id=self._base.stats.num_docs)
+
+    @property
+    def base(self) -> InvertedIndex:
+        return self._base
+
+    @property
+    def delta_docs(self) -> int:
+        return self._delta.num_docs
+
+    def add_document(self, tokens: Sequence[str]) -> int:
+        """Index a new document into the delta segment; returns docID."""
+        return self._delta.add_document(tokens)
+
+    # ------------------------------------------------------------------
+    # Search across both segments
+    # ------------------------------------------------------------------
+
+    def search(self, query: Union[str, QueryNode],
+               k: int = 10) -> SearchResult:
+        node = parse_query(query) if isinstance(query, str) else flatten(query)
+        known = [
+            t for t in node.terms()
+            if t in self._base or t in self._delta
+        ]
+        if len(known) != len(set(node.terms())):
+            missing = sorted(set(node.terms()) - set(known))
+            raise QueryError(f"terms not in index: {missing}")
+
+        topk = TopKQueue(k)
+
+        # Base segment: prune to base-resident terms, run on the engine.
+        base_node = _prune(node, lambda t: t in self._base)
+        base_result: Optional[SearchResult] = None
+        if base_node is not None:
+            base_result = self._engine.search(base_node, k=k)
+            for hit in base_result.hits:
+                topk.offer(hit.doc_id, hit.score)
+
+        # Delta segment: software scan of the (small) tail.
+        delta_node = _prune(node, lambda t: t in self._delta)
+        if delta_node is not None:
+            for doc_id, score in self._score_delta(delta_node, node):
+                topk.offer(doc_id, score)
+
+        hits = [ScoredDocument(d, s) for d, s in topk.results()]
+        if base_result is not None:
+            return SearchResult(
+                query=node,
+                hits=hits,
+                traffic=base_result.traffic,
+                work=base_result.work,
+                interconnect_bytes=base_result.interconnect_bytes,
+            )
+        return SearchResult(query=node, hits=hits)
+
+    def _score_delta(self, delta_node: QueryNode, full_node: QueryNode):
+        """Evaluate the boolean condition over delta docs; BM25 scores
+        use base statistics per the near-real-time approximation."""
+        matching = self._matching_delta_docs(delta_node)
+        scorer = self._base.scorer
+        params = scorer.params
+        query_terms = set(full_node.terms())
+        for doc_id in sorted(matching):
+            counts = self._delta.doc_counts(doc_id)
+            length = self._delta.doc_length(doc_id)
+            normalizer = params.k1 * (
+                1.0 - params.b + params.b * length / scorer.avgdl
+            )
+            score = 0.0
+            for term in query_terms:
+                tf = counts.get(term)
+                if not tf:
+                    continue
+                score += self._term_idf(term) * (
+                    tf * (params.k1 + 1.0) / (tf + normalizer)
+                )
+            yield doc_id, score
+
+    def _matching_delta_docs(self, node: QueryNode) -> set:
+        if isinstance(node, TermNode):
+            return {d for d, _tf in self._delta.postings(node.term)}
+        child_sets = [self._matching_delta_docs(c) for c in node.children]
+        if isinstance(node, AndNode):
+            out = child_sets[0]
+            for s in child_sets[1:]:
+                out = out & s
+            return out
+        out = set()
+        for s in child_sets:
+            out |= s
+        return out
+
+    def _term_idf(self, term: str) -> float:
+        """Base IDF where available; delta-local estimate otherwise."""
+        if term in self._base:
+            return self._base.posting_list(term).idf
+        df = len(self._delta.postings(term))
+        n = self._base.stats.num_docs + self._delta.num_docs
+        return math.log((n - df + 0.5) / (df + 0.5) + 1.0)
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def merge(self) -> InvertedIndex:
+        """Fold the delta into a fresh compressed base index.
+
+        Rebuilds from the combined document set (the offline indexing
+        path), refreshing every statistic; the caller re-wraps the new
+        index in an engine. Returns the merged index.
+        """
+        builder = IndexBuilder()
+        for doc_id in range(self._base.stats.num_docs):
+            builder.add_document(self._reconstruct_base_doc(doc_id))
+        for tokens in self._delta.documents():
+            builder.add_document(tokens)
+        return builder.build()
+
+    def _reconstruct_base_doc(self, doc_id: int) -> List[str]:
+        """Rebuild a base document's token multiset from the index.
+
+        (A production system would keep stored fields; the index is
+        lossless for the bag-of-words content we need.)
+        """
+        tokens: List[str] = []
+        for term in self._base.terms:
+            posting_list = self._base.posting_list(term)
+            # Binary probe via the block metadata.
+            for block in posting_list.blocks:
+                if block.metadata.first_doc_id <= doc_id <= block.metadata.last_doc_id:
+                    for posting in block.decode(posting_list.codec):
+                        if posting.doc_id == doc_id:
+                            tokens.extend([term] * posting.tf)
+                    break
+        return tokens if tokens else ["__empty__"]
+
+
+def _prune(node: QueryNode, has_term) -> Optional[QueryNode]:
+    """Shared segment-pruning logic (missing terms drop out)."""
+    if isinstance(node, TermNode):
+        return node if has_term(node.term) else None
+    pruned = [_prune(child, has_term) for child in node.children]
+    if isinstance(node, AndNode):
+        if any(child is None for child in pruned):
+            return None
+        kept = [c for c in pruned if c is not None]
+    else:
+        kept = [c for c in pruned if c is not None]
+        if not kept:
+            return None
+    if len(kept) == 1:
+        return kept[0]
+    return type(node)(tuple(kept))

@@ -1,0 +1,47 @@
+"""Index file serialization.
+
+The paper's ``init()`` call "loads the inverted index file (indexFile)
+from disk to SCM memory pool". We persist indexes with pickle — the
+index is built offline and is read-only afterwards (Section II-B), so a
+straightforward binary snapshot is the appropriate tool. The format is
+versioned to fail loudly rather than deserialize garbage.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Union
+
+from repro.errors import InvertedIndexError
+from repro.index.index import InvertedIndex
+
+_MAGIC = "repro-boss-index"
+_VERSION = 1
+
+
+def save_index(index: InvertedIndex, path: Union[str, Path]) -> None:
+    """Write an index snapshot to ``path``."""
+    payload = {"magic": _MAGIC, "version": _VERSION, "index": index}
+    with open(path, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_index(path: Union[str, Path]) -> InvertedIndex:
+    """Read an index snapshot written by :func:`save_index`."""
+    with open(path, "rb") as handle:
+        try:
+            payload = pickle.load(handle)
+        except Exception as exc:  # corrupt or foreign pickle
+            raise InvertedIndexError(f"cannot read index file {path}: {exc}")
+    if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
+        raise InvertedIndexError(f"{path} is not a BOSS index file")
+    if payload.get("version") != _VERSION:
+        raise InvertedIndexError(
+            f"index file version {payload.get('version')} unsupported "
+            f"(expected {_VERSION})"
+        )
+    index = payload["index"]
+    if not isinstance(index, InvertedIndex):
+        raise InvertedIndexError(f"{path} does not contain an index")
+    return index

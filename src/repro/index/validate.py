@@ -1,0 +1,174 @@
+"""Index integrity checking (``fsck`` for .boss indexes).
+
+Every skip decision BOSS makes trusts the per-block metadata: docID
+ranges drive the overlap check, maximum term-scores drive early
+termination, counts and offsets drive decompression. A corrupted or
+hand-edited index silently breaks those guarantees — ET would drop
+true results. This checker verifies every invariant the engines rely
+on and reports violations instead of letting them surface as wrong
+search results:
+
+* blocks decode cleanly and hold exactly ``count`` postings;
+* docIDs are strictly increasing within and across blocks, within the
+  corpus range;
+* metadata first/last docIDs equal the decoded endpoints;
+* every block's max term-score truly bounds its postings' scores, and
+  the list-level maximum equals the max over blocks;
+* document frequency equals the sum of block counts; IDF matches the
+  corpus statistics (or is flagged as shard-global);
+* payload offsets are consistent and regions do not overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import CompressionError
+from repro.index.index import InvertedIndex
+
+#: Tolerance for floating-point metadata comparisons.
+_EPS = 1e-9
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one integrity check."""
+
+    terms_checked: int = 0
+    blocks_checked: int = 0
+    postings_checked: int = 0
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def _error(self, message: str) -> None:
+        self.errors.append(message)
+
+    def _warn(self, message: str) -> None:
+        self.warnings.append(message)
+
+
+def validate_index(index: InvertedIndex,
+                   check_scores: bool = True) -> ValidationReport:
+    """Check every engine-trusted invariant of ``index``.
+
+    ``check_scores`` re-derives BM25 term scores for every posting to
+    verify the block maxima (the expensive part; disable for a quick
+    structural pass).
+    """
+    report = ValidationReport()
+    scorer = index.scorer
+    num_docs = index.stats.num_docs
+
+    previous_region_end = -1
+    for term in index.terms:
+        posting_list = index.posting_list(term)
+        report.terms_checked += 1
+
+        # Regions: laid out in term order, non-overlapping.
+        region = posting_list.region
+        if region.base < previous_region_end:
+            report._error(
+                f"{term}: region [{region.base}, {region.end}) overlaps "
+                f"the previous list"
+            )
+        previous_region_end = max(previous_region_end, region.end)
+
+        block_counts = 0
+        expected_offset = 0
+        previous_doc = -1
+        list_max_seen = 0.0
+        for block_index, block in enumerate(posting_list.blocks):
+            report.blocks_checked += 1
+            meta = block.metadata
+            label = f"{term}[block {block_index}]"
+
+            if meta.offset != expected_offset:
+                report._error(
+                    f"{label}: offset {meta.offset} != running total "
+                    f"{expected_offset}"
+                )
+            expected_offset += block.compressed_bytes
+
+            try:
+                postings = block.decode(posting_list.codec)
+            except CompressionError as exc:
+                report._error(f"{label}: payload does not decode ({exc})")
+                continue
+            report.postings_checked += len(postings)
+            block_counts += meta.count
+
+            if len(postings) != meta.count:
+                report._error(
+                    f"{label}: decoded {len(postings)} postings, "
+                    f"metadata says {meta.count}"
+                )
+                continue
+            doc_ids = [p.doc_id for p in postings]
+            if doc_ids != sorted(set(doc_ids)):
+                report._error(f"{label}: docIDs not strictly increasing")
+            if doc_ids[0] != meta.first_doc_id:
+                report._error(
+                    f"{label}: first docID {doc_ids[0]} != metadata "
+                    f"{meta.first_doc_id}"
+                )
+            if doc_ids[-1] != meta.last_doc_id:
+                report._error(
+                    f"{label}: last docID {doc_ids[-1]} != metadata "
+                    f"{meta.last_doc_id}"
+                )
+            if doc_ids[0] <= previous_doc:
+                report._error(
+                    f"{label}: overlaps previous block "
+                    f"({doc_ids[0]} <= {previous_doc})"
+                )
+            previous_doc = doc_ids[-1]
+            if doc_ids[-1] >= num_docs:
+                report._error(
+                    f"{label}: docID {doc_ids[-1]} beyond corpus "
+                    f"of {num_docs}"
+                )
+            if any(p.tf < 1 for p in postings):
+                report._error(f"{label}: tf below 1")
+
+            if check_scores:
+                true_max = max(
+                    scorer.term_score(posting_list.idf, p.tf, p.doc_id)
+                    for p in postings
+                )
+                if true_max > meta.max_term_score + _EPS:
+                    report._error(
+                        f"{label}: max term-score {meta.max_term_score} "
+                        f"below true bound {true_max} — early termination "
+                        f"would drop results"
+                    )
+                elif meta.max_term_score > true_max + _EPS:
+                    report._warn(
+                        f"{label}: max term-score is loose "
+                        f"({meta.max_term_score} vs {true_max})"
+                    )
+                list_max_seen = max(list_max_seen, meta.max_term_score)
+
+        if block_counts != posting_list.document_frequency:
+            report._error(
+                f"{term}: df {posting_list.document_frequency} != "
+                f"block counts {block_counts}"
+            )
+        if check_scores and posting_list.blocks:
+            if abs(list_max_seen - posting_list.max_term_score) > _EPS:
+                report._error(
+                    f"{term}: list max score "
+                    f"{posting_list.max_term_score} != max over blocks "
+                    f"{list_max_seen}"
+                )
+        local_idf = scorer.idf(posting_list.document_frequency)
+        if abs(local_idf - posting_list.idf) > _EPS:
+            report._warn(
+                f"{term}: idf {posting_list.idf} differs from the "
+                f"corpus-local value {local_idf} (shard-global statistics?)"
+            )
+    return report

@@ -1,0 +1,163 @@
+"""Query cost estimation and plan-aware scheduling.
+
+The device's query scheduler (Figure 4(a)) dispatches FCFS; a root node
+with many queued queries can do better if it can *predict* per-query
+cost before execution. This module estimates work from index statistics
+alone — document frequencies, compressed sizes, and independence
+assumptions — the way a database optimizer estimates cardinalities:
+
+* union: candidates ≈ distinct docs across the term lists (inclusion–
+  exclusion under independence), postings ≈ sum of dfs, discounted by
+  the ET regime (k relative to block count);
+* intersection: SvS cost is driven by the smallest list; survivors
+  shrink by each additional selectivity factor;
+* mixed: intersections first (the engine's own strategy).
+
+Estimates feed :class:`PlannedScheduler`, a shortest-job-first wrapper
+over the device scheduler that reduces mean latency on skewed batches —
+a classic serving-system optimization layered on the paper's hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+from repro.core.query import (
+    OrNode,
+    QueryNode,
+    TermNode,
+    flatten,
+    parse_query,
+)
+from repro.errors import ConfigurationError, QueryError
+from repro.index.blocks import BLOCK_SIZE
+from repro.index.index import InvertedIndex
+
+
+@dataclass(frozen=True)
+class QueryEstimate:
+    """Pre-execution cost prediction for one query."""
+
+    query: QueryNode
+    #: Predicted postings pulled through the decompression lanes.
+    postings: float
+    #: Predicted matching documents (set-operation output size).
+    matches: float
+    #: Predicted documents actually scored (after ET discounting).
+    evaluated: float
+    #: Predicted compressed bytes fetched from SCM.
+    list_bytes: float
+
+    @property
+    def cost(self) -> float:
+        """Scalar dispatch cost (posting-dominated)."""
+        return self.postings + 4.0 * self.evaluated
+
+
+class QueryPlanner:
+    """Statistics-only cost estimation over one index."""
+
+    def __init__(self, index: InvertedIndex, k: int = 10) -> None:
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        self._index = index
+        self._k = k
+        self._num_docs = index.stats.num_docs
+
+    def estimate(self, query: Union[str, QueryNode]) -> QueryEstimate:
+        node = parse_query(query) if isinstance(query, str) else flatten(query)
+        missing = [t for t in node.terms() if t not in self._index]
+        if missing:
+            raise QueryError(f"terms not in index: {missing}")
+        postings, matches = self._walk(node)
+        evaluated = self._discount_for_et(node, matches)
+        list_bytes = postings * self._bytes_per_posting(node)
+        return QueryEstimate(
+            query=node,
+            postings=postings,
+            matches=matches,
+            evaluated=evaluated,
+            list_bytes=list_bytes,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _df(self, term: str) -> int:
+        return self._index.posting_list(term).document_frequency
+
+    def _walk(self, node: QueryNode) -> tuple:
+        """Return (postings_touched, expected_matches)."""
+        if isinstance(node, TermNode):
+            df = self._df(node.term)
+            return float(df), float(df)
+        child_stats = [self._walk(c) for c in node.children]
+        if isinstance(node, OrNode):
+            postings = sum(p for p, _m in child_stats)
+            # Inclusion–exclusion under independence:
+            # P(any) = 1 - prod(1 - df/N).
+            p_none = 1.0
+            for _p, matches in child_stats:
+                p_none *= max(0.0, 1.0 - matches / max(1, self._num_docs))
+            return postings, self._num_docs * (1.0 - p_none)
+        # AND: SvS touches the smallest list fully; each further list is
+        # probed only around surviving candidates, so its posting cost is
+        # bounded by the current survivor count (plus block rounding).
+        ordered = sorted(child_stats, key=lambda s: s[1])
+        survivors = ordered[0][1]
+        postings = ordered[0][0]
+        for _p, matches in ordered[1:]:
+            selectivity = matches / max(1, self._num_docs)
+            postings += min(
+                _p, max(survivors * BLOCK_SIZE / 2, survivors)
+            )
+            survivors *= selectivity
+        return postings, survivors
+
+    def _discount_for_et(self, node: QueryNode, matches: float) -> float:
+        """Union ET skips what cannot reach top-k; intersections score
+        every match."""
+        if isinstance(node, OrNode) or isinstance(node, TermNode):
+            if matches <= self._k:
+                return matches
+            # ET effectiveness grows with the candidate-to-k ratio; the
+            # square-root law is an empirical middle ground between the
+            # no-skip floor (matches) and the ideal (k).
+            return max(self._k, (matches * self._k) ** 0.5)
+        return matches
+
+    def _bytes_per_posting(self, node: QueryNode) -> float:
+        terms = node.terms()
+        total_bytes = sum(
+            self._index.posting_list(t).compressed_bytes for t in terms
+        )
+        total_postings = max(1, sum(self._df(t) for t in terms))
+        return total_bytes / total_postings
+
+
+class PlannedScheduler:
+    """Shortest-job-first dispatch using planner estimates.
+
+    Wraps the device scheduler: queries are sorted by predicted cost
+    before a closed-batch run, which provably minimizes mean completion
+    time for a single server and approximates it for multiple cores.
+    """
+
+    def __init__(self, planner: QueryPlanner, scheduler) -> None:
+        self._planner = planner
+        self._scheduler = scheduler
+
+    def run_batch(self, engine, queries: Sequence[str]):
+        """Estimate, order, execute, and schedule a query batch.
+
+        Returns ``(schedule_report, order)`` where ``order`` is the SJF
+        permutation applied to ``queries``.
+        """
+        if not queries:
+            raise ConfigurationError("no queries to schedule")
+        estimates = [self._planner.estimate(q) for q in queries]
+        order: List[int] = sorted(
+            range(len(queries)), key=lambda i: estimates[i].cost
+        )
+        results = [engine.search(queries[i]) for i in order]
+        return self._scheduler.run(results), order

@@ -1,0 +1,201 @@
+"""Second-stage re-ranking: the software stage BOSS hands off to.
+
+The paper (Section II-B): modern engines use multi-stage ranking — a
+fast first stage retrieves top-k candidates, and "BOSS leaves this
+second, re-ranking stage to software, while covering all the prior
+stages up to the first top-k candidate retrieval stage."
+
+This module provides that software stage:
+
+* :class:`Reranker` — the interface: score a candidate from its
+  first-stage evidence;
+* :class:`LinearReranker` — a feature-linear model over the evidence a
+  first-stage result actually carries (first-stage score, matched-term
+  count, document length prior), standing in for the neural models the
+  paper cites [27], [47], [49];
+* :class:`TwoStageSearch` — the full pipeline: a first-stage engine
+  (BOSS/IIU/Lucene) retrieves k1 candidates, the re-ranker rescores
+  them on the host, and the top k2 are returned. Host CPU time is
+  modeled per candidate so the pipeline composes with the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.core.query import QueryNode
+from repro.core.result import ScoredDocument, SearchResult
+from repro.errors import ConfigurationError
+from repro.index.index import InvertedIndex
+
+
+@dataclass(frozen=True)
+class CandidateFeatures:
+    """Evidence available to the second stage for one candidate."""
+
+    doc_id: int
+    first_stage_score: float
+    #: Query terms whose posting lists contain the document.
+    matched_terms: int
+    #: Total query terms.
+    query_terms: int
+    #: Document length in tokens.
+    doc_length: int
+
+
+class Reranker:
+    """Interface for second-stage scoring models."""
+
+    #: Modeled host CPU cost per rescored candidate (seconds). Neural
+    #: re-rankers are orders slower; this default is a light model.
+    cost_per_candidate: float = 2e-6
+
+    def score(self, features: CandidateFeatures) -> float:
+        raise NotImplementedError
+
+
+@dataclass
+class LinearReranker(Reranker):
+    """Weighted sum over the candidate features.
+
+    Default weights keep the first-stage order as the dominant signal
+    and break ties toward documents matching more query terms and
+    toward mid-length documents — the standard hand-tuned baseline a
+    learned model would replace.
+    """
+
+    weight_first_stage: float = 1.0
+    weight_coverage: float = 0.5
+    weight_length_prior: float = 0.1
+    #: Document length at which the prior peaks.
+    preferred_length: float = 300.0
+    cost_per_candidate: float = 2e-6
+
+    def score(self, features: CandidateFeatures) -> float:
+        coverage = (
+            features.matched_terms / features.query_terms
+            if features.query_terms else 0.0
+        )
+        length_ratio = features.doc_length / self.preferred_length
+        # Smooth unimodal prior: 1 at the preferred length, falling off
+        # for very short or very long documents.
+        length_prior = 2.0 * length_ratio / (1.0 + length_ratio ** 2)
+        return (
+            self.weight_first_stage * features.first_stage_score
+            + self.weight_coverage * coverage
+            + self.weight_length_prior * length_prior
+        )
+
+
+@dataclass
+class RerankedResult:
+    """Outcome of the two-stage pipeline."""
+
+    query: QueryNode
+    hits: List[ScoredDocument]
+    first_stage: SearchResult
+    #: Modeled host seconds spent in the second stage.
+    rerank_seconds: float = 0.0
+    #: Candidates rescored.
+    candidates: int = 0
+
+
+class TwoStageSearch:
+    """First-stage engine + software re-ranker, composed.
+
+    Parameters
+    ----------
+    engine:
+        Any first-stage engine (``search(query, k)`` returning
+        :class:`SearchResult` with an ``index`` property).
+    reranker:
+        The second-stage model.
+    first_stage_k:
+        Candidates retrieved by the first stage (the paper's k, default
+        1000); the final ``k`` of :meth:`search` selects from these.
+    """
+
+    def __init__(self, engine, reranker: Optional[Reranker] = None,
+                 first_stage_k: int = 1000) -> None:
+        if first_stage_k <= 0:
+            raise ConfigurationError("first_stage_k must be positive")
+        self._engine = engine
+        self._reranker = reranker if reranker is not None else LinearReranker()
+        self._first_stage_k = first_stage_k
+
+    @property
+    def index(self) -> InvertedIndex:
+        return self._engine.index
+
+    def search(self, query: Union[str, QueryNode],
+               k: int = 10) -> RerankedResult:
+        """Retrieve ``first_stage_k`` candidates, rescore, return top ``k``."""
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        first = self._engine.search(query, k=self._first_stage_k)
+        features = self._features_for(first)
+        rescored = sorted(
+            (
+                ScoredDocument(f.doc_id, self._reranker.score(f))
+                for f in features
+            ),
+            key=lambda hit: (-hit.score, hit.doc_id),
+        )
+        return RerankedResult(
+            query=first.query,
+            hits=rescored[:k],
+            first_stage=first,
+            rerank_seconds=(
+                len(features) * self._reranker.cost_per_candidate
+            ),
+            candidates=len(features),
+        )
+
+    def _features_for(self,
+                      first: SearchResult) -> List[CandidateFeatures]:
+        index = self._engine.index
+        terms = list(dict.fromkeys(first.query.terms()))
+        # Membership probes over the candidates, per term, monotone in
+        # docID (candidates sorted) — cheap host-side lookups.
+        candidate_ids = sorted(hit.doc_id for hit in first.hits)
+        matched: Dict[int, int] = {doc: 0 for doc in candidate_ids}
+        for term in terms:
+            postings = {
+                p.doc_id for p in index.posting_list(term).decode_all()
+            }
+            for doc in candidate_ids:
+                if doc in postings:
+                    matched[doc] += 1
+        scorer = index.scorer
+        return [
+            CandidateFeatures(
+                doc_id=hit.doc_id,
+                first_stage_score=hit.score,
+                matched_terms=matched[hit.doc_id],
+                query_terms=len(terms),
+                doc_length=int(round(
+                    _doc_length_from_normalizer(
+                        scorer.length_normalizer(hit.doc_id),
+                        scorer,
+                    )
+                )),
+            )
+            for hit in first.hits
+        ]
+
+
+def _doc_length_from_normalizer(normalizer: float, scorer) -> float:
+    """Invert the stored BM25 normalizer back to a document length.
+
+    The per-document metadata BOSS stores is
+    ``k1 * (1 - b + b * |D| / avgdl)``; the second stage recovers |D|
+    from it instead of shipping a second per-document table.
+    """
+    params = scorer.params
+    if params.b == 0:
+        return scorer.avgdl
+    return (
+        (normalizer / params.k1 - (1.0 - params.b))
+        * scorer.avgdl / params.b
+    )

@@ -1,0 +1,35 @@
+"""Workload generation: synthetic streams, corpora, and query sets.
+
+Substitutes for the paper's proprietary/full-scale inputs (see DESIGN.md):
+
+* :mod:`repro.workloads.synthetic` — the seven synthetic integer streams
+  of Figure 3 (uniform sparse/dense, cluster, outlier 10%/30%, zipf);
+* :mod:`repro.workloads.corpus` — synthetic web corpora with Zipfian
+  term popularity and skewed term frequencies; presets shaped after
+  ClueWeb12 and CC-News;
+* :mod:`repro.workloads.queries` — a TREC-like query sampler producing
+  the paper's Table II query mix (Q1–Q6).
+"""
+
+from repro.workloads.corpus import CorpusSpec, SyntheticCorpus, make_corpus
+from repro.workloads.queries import QuerySampler, QuerySet
+from repro.workloads.synthetic import (
+    SYNTHETIC_STREAMS,
+    cluster_stream,
+    outlier_stream,
+    uniform_stream,
+    zipf_stream,
+)
+
+__all__ = [
+    "CorpusSpec",
+    "SyntheticCorpus",
+    "make_corpus",
+    "QuerySampler",
+    "QuerySet",
+    "SYNTHETIC_STREAMS",
+    "uniform_stream",
+    "cluster_stream",
+    "outlier_stream",
+    "zipf_stream",
+]

@@ -1,0 +1,122 @@
+"""IIU baseline tests: functional equivalence + traffic signatures."""
+
+import pytest
+
+from repro.baselines import IIUAccelerator, IIUConfig
+from repro.core import BossAccelerator, BossConfig
+from repro.errors import QueryError
+from repro.scm.traffic import AccessClass, AccessPattern
+from tests.conftest import brute_force_topk, hits_as_pairs, oracle_as_pairs
+
+TABLE_II = [
+    '"t0"',
+    '"t1" AND "t3"',
+    '"t2" OR "t5"',
+    '"t0" AND "t1" AND "t2" AND "t3"',
+    '"t1" OR "t4" OR "t7" OR "t9"',
+    '"t0" AND ("t2" OR "t4" OR "t8")',
+]
+
+
+@pytest.fixture(scope="module")
+def iiu(small_index):
+    return IIUAccelerator(small_index, IIUConfig(k=50))
+
+
+@pytest.fixture(scope="module")
+def boss(small_index):
+    return BossAccelerator(small_index, BossConfig(k=50))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("expr", TABLE_II)
+    def test_matches_oracle(self, iiu, small_index, expr):
+        from repro.core.query import parse_query
+
+        oracle = brute_force_topk(small_index, parse_query(expr), 50)
+        assert hits_as_pairs(iiu.search(expr)) == oracle_as_pairs(oracle)
+
+    @pytest.mark.parametrize("expr", TABLE_II)
+    def test_matches_boss(self, iiu, boss, expr):
+        assert hits_as_pairs(iiu.search(expr)) == hits_as_pairs(
+            boss.search(expr)
+        )
+
+    def test_unknown_term_rejected(self, iiu):
+        with pytest.raises(QueryError):
+            iiu.search('"nope"')
+
+    def test_k_override(self, iiu):
+        assert len(iiu.search('"t0"', k=7).hits) == 7
+
+
+class TestTrafficSignatures:
+    """Each of the paper's four IIU weaknesses must be visible."""
+
+    def test_union_is_exhaustive(self, iiu, small_index):
+        """Weakness 2: unions fetch every block of every term."""
+        result = iiu.search('"t2" OR "t5"')
+        expected_blocks = (
+            small_index.posting_list("t2").num_blocks
+            + small_index.posting_list("t5").num_blocks
+        )
+        assert result.work.blocks_fetched == expected_blocks
+        assert result.work.blocks_skipped == 0
+
+    def test_union_scores_every_doc(self, iiu, small_index):
+        result = iiu.search('"t2" OR "t5"')
+        t2 = {p.doc_id for p in small_index.posting_list("t2").decode_all()}
+        t5 = {p.doc_id for p in small_index.posting_list("t5").decode_all()}
+        assert result.work.docs_evaluated == len(t2 | t5)
+
+    def test_intersection_uses_random_access(self, iiu):
+        """Weakness 1: binary-search membership -> random reads."""
+        result = iiu.search('"t1" AND "t3"')
+        assert result.work.probe_reads > 0
+        assert result.traffic.bytes_for(
+            AccessClass.LD_LIST, AccessPattern.RANDOM
+        ) > 0
+
+    def test_multiterm_intersection_spills(self, iiu):
+        """Weakness 3: iterative SvS spills intermediates to memory."""
+        result = iiu.search('"t0" AND "t1" AND "t2" AND "t3"')
+        assert result.traffic.bytes_for(AccessClass.ST_INTER) > 0
+        assert result.traffic.bytes_for(AccessClass.LD_INTER) > 0
+        assert result.work.intermediate_passes >= 1
+
+    def test_two_term_intersection_does_not_spill(self, iiu):
+        result = iiu.search('"t1" AND "t3"')
+        assert result.traffic.bytes_for(AccessClass.ST_INTER) == 0
+
+    def test_full_result_list_crosses_interconnect(self, iiu, small_index):
+        """Weakness 4: the whole scored list goes to the host."""
+        result = iiu.search('"t2" OR "t5"')
+        t2 = {p.doc_id for p in small_index.posting_list("t2").decode_all()}
+        t5 = {p.doc_id for p in small_index.posting_list("t5").decode_all()}
+        assert result.interconnect_bytes == 8 * len(t2 | t5)
+        assert result.interconnect_bytes > 8 * len(result.hits)
+
+    def test_mixed_query_spills_union(self, iiu):
+        """Q6: the OR-group is materialized and spilled before the AND."""
+        result = iiu.search('"t0" AND ("t2" OR "t4" OR "t8")')
+        assert result.traffic.bytes_for(AccessClass.ST_INTER) > 0
+
+
+class TestComparisonWithBoss:
+    @pytest.mark.parametrize("expr", TABLE_II)
+    def test_boss_moves_less_data(self, iiu, boss, expr):
+        """The core bandwidth claim, query by query."""
+        iiu_bytes = iiu.search(expr).traffic.total_bytes
+        boss_bytes = boss.search(expr).traffic.total_bytes
+        assert boss_bytes <= iiu_bytes
+
+    @pytest.mark.parametrize("expr", ['"t0"', '"t2" OR "t5"',
+                                      '"t1" OR "t4" OR "t7" OR "t9"'])
+    def test_boss_evaluates_fewer_docs_on_unions(self, small_index, expr):
+        """Figure 14's metric at small-but-meaningful k."""
+        boss_small_k = BossAccelerator(small_index, BossConfig(k=5))
+        iiu_small_k = IIUAccelerator(small_index, IIUConfig(k=5))
+        assert (
+            boss_small_k.search(expr).work.docs_evaluated
+            <= iiu_small_k.search(expr).work.docs_evaluated
+        )

@@ -1,0 +1,67 @@
+"""Property tests: sharded serving is invisible to the searcher."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import SearchCluster, shard_documents
+from repro.core import BossAccelerator, BossConfig
+from repro.index import IndexBuilder
+
+_CACHE = {}
+
+
+def _setup(num_docs, seed):
+    key = (num_docs, seed)
+    if key not in _CACHE:
+        rng = random.Random(seed)
+        words = [f"w{i}" for i in range(25)]
+        documents = [
+            [words[min(24, int(rng.expovariate(0.2)))]
+             for _ in range(rng.randrange(4, 20))]
+            for _ in range(num_docs)
+        ]
+        builder = IndexBuilder()
+        for doc in documents:
+            builder.add_document(doc)
+        _CACHE[key] = (documents, builder.build())
+    return _CACHE[key]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=100),
+    num_shards=st.integers(min_value=1, max_value=6),
+    k=st.sampled_from([1, 7, 30]),
+    query_seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_property_cluster_equals_monolithic(seed, num_shards, k,
+                                            query_seed):
+    documents, monolithic_index = _setup(300, seed % 3)
+    monolithic = BossAccelerator(monolithic_index, BossConfig(k=k))
+    sharded = shard_documents(documents, num_shards=num_shards)
+    cluster = SearchCluster([
+        BossAccelerator(index, BossConfig(k=k))
+        for index in sharded.indexes
+    ])
+
+    rng = random.Random(query_seed)
+    terms = [f"w{rng.randrange(0, 25)}" for _ in range(4)]
+    expressions = [
+        f'"{terms[0]}"',
+        f'"{terms[0]}" AND "{terms[1]}"',
+        f'"{terms[0]}" OR "{terms[1]}"',
+        f'"{terms[0]}" AND ("{terms[1]}" OR "{terms[2]}")',
+    ]
+    for expression in expressions:
+        try:
+            mono = monolithic.search(expression, k=k)
+        except Exception:
+            continue  # term absent from this corpus draw
+        merged = cluster.search(expression, k=k)
+        assert [
+            (h.doc_id, round(h.score, 8)) for h in merged.hits
+        ] == [
+            (h.doc_id, round(h.score, 8)) for h in mono.hits
+        ], (expression, num_shards)

@@ -1,0 +1,166 @@
+"""Tests for the root node: fan-out, pruning, and merge correctness."""
+
+import random
+
+import pytest
+
+from repro.baselines import IIUAccelerator, IIUConfig
+from repro.cluster import SearchCluster, shard_documents
+from repro.cluster.root import _prune_for_shard
+from repro.core import BossAccelerator, BossConfig
+from repro.core.query import AndNode, OrNode, TermNode, parse_query
+from repro.errors import ConfigurationError
+from repro.index import IndexBuilder
+
+QUERIES = [
+    '"t0"',
+    '"t1" AND "t3"',
+    '"t2" OR "t5"',
+    '"t0" AND "t1" AND "t2" AND "t3"',
+    '"t1" OR "t4" OR "t7" OR "t9"',
+    '"t0" AND ("t2" OR "t4" OR "t8")',
+]
+
+
+def _documents(num_docs=900, vocab=30, seed=8):
+    rng = random.Random(seed)
+    words = [f"t{i}" for i in range(vocab)]
+    return [
+        [words[min(vocab - 1, int(rng.expovariate(0.15)))]
+         for _ in range(rng.randrange(5, 30))]
+        for _ in range(num_docs)
+    ]
+
+
+@pytest.fixture(scope="module")
+def documents():
+    return _documents()
+
+
+@pytest.fixture(scope="module")
+def monolithic(documents):
+    builder = IndexBuilder()
+    for doc in documents:
+        builder.add_document(doc)
+    return BossAccelerator(builder.build(), BossConfig(k=25))
+
+
+@pytest.fixture(scope="module")
+def cluster(documents):
+    sharded = shard_documents(documents, num_shards=4)
+    return SearchCluster([
+        BossAccelerator(index, BossConfig(k=25))
+        for index in sharded.indexes
+    ])
+
+
+class TestMergeCorrectness:
+    @pytest.mark.parametrize("expr", QUERIES)
+    def test_cluster_equals_monolithic(self, cluster, monolithic, expr):
+        merged = cluster.search(expr, k=25)
+        mono = monolithic.search(expr)
+        assert [
+            (h.doc_id, round(h.score, 8)) for h in merged.hits
+        ] == [
+            (h.doc_id, round(h.score, 8)) for h in mono.hits
+        ]
+
+    def test_varied_k(self, cluster, monolithic):
+        for k in (1, 5, 60):
+            merged = cluster.search('"t2" OR "t5"', k=k)
+            mono = monolithic.search('"t2" OR "t5"', k=k)
+            assert [h.doc_id for h in merged.hits] == [
+                h.doc_id for h in mono.hits
+            ]
+
+    def test_works_with_iiu_leaves(self, documents, monolithic):
+        sharded = shard_documents(documents, num_shards=3)
+        cluster = SearchCluster([
+            IIUAccelerator(index, IIUConfig(k=25))
+            for index in sharded.indexes
+        ])
+        merged = cluster.search('"t1" AND "t3"', k=25)
+        mono = monolithic.search('"t1" AND "t3"')
+        assert [h.doc_id for h in merged.hits] == [
+            h.doc_id for h in mono.hits
+        ]
+
+
+class TestAccounting:
+    def test_traffic_is_sum_of_leaves(self, cluster):
+        merged = cluster.search('"t2" OR "t5"', k=25)
+        leaf_total = sum(
+            r.traffic.total_bytes
+            for r in merged.leaf_results if r is not None
+        )
+        assert merged.traffic.total_bytes == leaf_total
+
+    def test_interconnect_is_sum_of_topk_streams(self, cluster):
+        merged = cluster.search('"t0"', k=25)
+        leaf_total = sum(
+            r.interconnect_bytes
+            for r in merged.leaf_results if r is not None
+        )
+        assert merged.interconnect_bytes == leaf_total
+
+    def test_merge_ops_counted(self, cluster):
+        merged = cluster.search('"t0"', k=25)
+        assert merged.merge_ops == sum(
+            len(r.hits) for r in merged.leaf_results if r is not None
+        )
+
+    def test_shards_touched(self, cluster):
+        merged = cluster.search('"t0"', k=5)
+        assert 1 <= merged.shards_touched <= cluster.num_leaves
+
+
+class TestPruning:
+    def test_missing_term_pruned_from_union(self):
+        builder = IndexBuilder()
+        builder.add_document(["alpha", "beta"])
+        index = builder.build()
+        node = parse_query('"alpha" OR "missing"')
+        pruned = _prune_for_shard(node, index)
+        assert pruned == TermNode("alpha")
+
+    def test_missing_term_annihilates_intersection(self):
+        builder = IndexBuilder()
+        builder.add_document(["alpha", "beta"])
+        index = builder.build()
+        node = parse_query('"alpha" AND "missing"')
+        assert _prune_for_shard(node, index) is None
+
+    def test_all_terms_missing_returns_none(self):
+        builder = IndexBuilder()
+        builder.add_document(["alpha"])
+        index = builder.build()
+        node = parse_query('"x" OR "y"')
+        assert _prune_for_shard(node, index) is None
+
+    def test_nested_pruning(self):
+        builder = IndexBuilder()
+        builder.add_document(["a", "b"])
+        index = builder.build()
+        node = parse_query('"a" AND ("b" OR "zzz")')
+        pruned = _prune_for_shard(node, index)
+        assert pruned == AndNode((TermNode("a"), TermNode("b")))
+
+    def test_shard_without_terms_contributes_nothing(self):
+        # Two tiny disjoint-vocabulary shards.
+        b1, b2 = IndexBuilder(), IndexBuilder()
+        b1.add_document(["apple", "pear"])
+        b2.declare_documents([2, 2])
+        b2.add_postings("kiwi", [(1, 1)])
+        cluster = SearchCluster([
+            BossAccelerator(b1.build(), BossConfig(k=5)),
+            BossAccelerator(b2.build(), BossConfig(k=5)),
+        ])
+        merged = cluster.search('"apple"', k=5)
+        assert merged.shards_touched == 1
+        assert len(merged.hits) == 1
+
+
+class TestValidation:
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SearchCluster([])

@@ -1,0 +1,83 @@
+"""Tests for cluster-level latency/throughput modeling."""
+
+import random
+
+import pytest
+
+from repro.cluster import SearchCluster, shard_documents
+from repro.cluster.timing import ClusterTimingModel
+from repro.core import BossAccelerator, BossConfig
+from repro.errors import ConfigurationError
+from repro.sim.timing import BossTimingModel
+
+
+def _documents(num_docs=600, seed=2):
+    rng = random.Random(seed)
+    words = [f"t{i}" for i in range(25)]
+    return [
+        [words[min(24, int(rng.expovariate(0.15)))]
+         for _ in range(rng.randrange(5, 25))]
+        for _ in range(num_docs)
+    ]
+
+
+@pytest.fixture(scope="module")
+def cluster_setup():
+    documents = _documents()
+    sharded = shard_documents(documents, num_shards=3)
+    engines = [
+        BossAccelerator(index, BossConfig(k=10))
+        for index in sharded.indexes
+    ]
+    cluster = SearchCluster(engines)
+    models = [BossTimingModel() for _ in engines]
+    return cluster, ClusterTimingModel(models)
+
+
+class TestLatency:
+    def test_latency_decomposition(self, cluster_setup):
+        cluster, timing = cluster_setup
+        merged = cluster.search('"t0" OR "t1"', k=10)
+        report = timing.query_latency(merged)
+        assert report.slowest_leaf_seconds > 0
+        assert report.link_seconds >= 0
+        assert report.merge_seconds > 0
+        assert report.total_seconds == pytest.approx(
+            report.slowest_leaf_seconds + report.link_seconds
+            + report.merge_seconds
+        )
+
+    def test_latency_is_max_not_sum_of_leaves(self, cluster_setup):
+        cluster, timing = cluster_setup
+        merged = cluster.search('"t0"', k=10)
+        per_leaf = [
+            BossTimingModel().query_seconds(r)
+            for r in merged.leaf_results if r is not None
+        ]
+        report = timing.query_latency(merged)
+        assert report.slowest_leaf_seconds == pytest.approx(max(per_leaf))
+        assert report.slowest_leaf_seconds < sum(per_leaf) + 1e-15
+
+    def test_mismatched_leaf_counts_rejected(self, cluster_setup):
+        cluster, _timing = cluster_setup
+        merged = cluster.search('"t0"', k=5)
+        wrong = ClusterTimingModel([BossTimingModel()])
+        with pytest.raises(ConfigurationError):
+            wrong.query_latency(merged)
+
+
+class TestThroughput:
+    def test_batch_throughput_positive(self, cluster_setup):
+        cluster, timing = cluster_setup
+        batch = [cluster.search(q, k=10)
+                 for q in ('"t0"', '"t1" AND "t2"', '"t3" OR "t4"')]
+        assert timing.batch_throughput_qps(batch) > 0
+
+    def test_empty_batch_rejected(self, cluster_setup):
+        _cluster, timing = cluster_setup
+        with pytest.raises(ConfigurationError):
+            timing.batch_throughput_qps([])
+
+    def test_no_leaf_models_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterTimingModel([])

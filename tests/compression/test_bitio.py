@@ -1,0 +1,97 @@
+"""Unit tests for the LSB-first bit stream reader/writer."""
+
+import pytest
+
+from repro.compression.bitio import BitReader, BitWriter
+from repro.errors import CompressionError
+
+
+class TestBitWriter:
+    def test_empty_stream_is_empty_bytes(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_single_byte_field(self):
+        writer = BitWriter()
+        writer.write(0xAB, 8)
+        assert writer.getvalue() == b"\xab"
+
+    def test_lsb_first_packing(self):
+        # Writing 1 (1 bit) then 3 (2 bits) lands as 0b00000111.
+        writer = BitWriter()
+        writer.write(1, 1)
+        writer.write(3, 2)
+        assert writer.getvalue() == bytes([0b111])
+
+    def test_partial_byte_zero_padded(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        assert writer.getvalue() == bytes([0b101])
+
+    def test_field_spanning_byte_boundary(self):
+        writer = BitWriter()
+        writer.write(0x3F, 6)
+        writer.write(0x3FF, 10)
+        data = writer.getvalue()
+        reader = BitReader(data)
+        assert reader.read(6) == 0x3F
+        assert reader.read(10) == 0x3FF
+
+    def test_zero_width_write_is_noop(self):
+        writer = BitWriter()
+        writer.write(0, 0)
+        assert writer.bit_length == 0
+
+    def test_value_too_wide_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(CompressionError):
+            writer.write(4, 2)
+
+    def test_negative_value_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(CompressionError):
+            writer.write(-1, 8)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(CompressionError):
+            BitWriter().write(0, -1)
+
+    def test_bit_length_tracks_writes(self):
+        writer = BitWriter()
+        writer.write(1, 3)
+        writer.write(1, 9)
+        assert writer.bit_length == 12
+
+
+class TestBitReader:
+    def test_roundtrip_mixed_widths(self):
+        widths = [1, 7, 13, 32, 3, 5, 24]
+        values = [(1 << w) - 1 for w in widths]
+        writer = BitWriter()
+        for v, w in zip(values, widths):
+            writer.write(v, w)
+        reader = BitReader(writer.getvalue())
+        assert [reader.read(w) for w in widths] == values
+
+    def test_read_past_end_raises(self):
+        reader = BitReader(b"\x01")
+        reader.read(8)
+        with pytest.raises(CompressionError):
+            reader.read(1)
+
+    def test_read_many(self):
+        writer = BitWriter()
+        for v in range(16):
+            writer.write(v, 4)
+        reader = BitReader(writer.getvalue())
+        assert reader.read_many(4, 16) == list(range(16))
+
+    def test_offset_skips_header_bytes(self):
+        writer = BitWriter()
+        writer.write(0xCAFE, 16)
+        data = b"\x00\x00" + writer.getvalue()
+        reader = BitReader(data, offset=2)
+        assert reader.read(16) == 0xCAFE
+
+    def test_zero_width_read_returns_zero(self):
+        reader = BitReader(b"")
+        assert reader.read(0) == 0

@@ -1,0 +1,92 @@
+"""Failure injection: decoders must fail loudly or return integers.
+
+Storage bit-flips and truncations happen; a decoder may return wrong
+*values* for a corrupted payload (no checksums at this layer — that is
+the storage stack's job), but it must never hang, crash the process
+with an unrelated exception, or return something that is not a list of
+non-negative integers. These fuzz tests pin that contract for every
+codec and for the programmable decompression module.
+"""
+
+import random
+
+import pytest
+
+from repro.compression import get_codec, list_codecs
+from repro.decompressor import DecompressionModule, program_for_scheme
+from repro.errors import CompressionError, DecompressorProgramError
+
+ALL_SCHEMES = sorted(list_codecs())
+MODULE_SCHEMES = ("BP", "VB", "PFD", "OptPFD", "S16", "S8b", "GVB")
+
+
+def _corrupt(data: bytes, rng: random.Random) -> bytes:
+    """One random corruption: truncate, bit-flip, or extend."""
+    if not data:
+        return bytes([rng.randrange(256)])
+    mode = rng.randrange(3)
+    if mode == 0:
+        return data[: rng.randrange(len(data))]
+    if mode == 1:
+        position = rng.randrange(len(data))
+        flipped = data[position] ^ (1 << rng.randrange(8))
+        return data[:position] + bytes([flipped]) + data[position + 1:]
+    return data + bytes(rng.randrange(256)
+                        for _ in range(rng.randrange(1, 5)))
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_codecs_survive_corruption(scheme):
+    codec = get_codec(scheme)
+    rng = random.Random(hash(scheme) & 0xFFFF)
+    values = [rng.randrange(0, 1 << 20) for _ in range(200)]
+    clean = codec.encode(values)
+    for _trial in range(60):
+        dirty = _corrupt(clean, rng)
+        try:
+            decoded = codec.decode(dirty, len(values))
+        except CompressionError:
+            continue  # loud failure is the preferred outcome
+        assert isinstance(decoded, list)
+        assert len(decoded) == len(values)
+        assert all(isinstance(v, int) and v >= 0 for v in decoded)
+
+
+@pytest.mark.parametrize("scheme", MODULE_SCHEMES)
+def test_decompression_module_survives_corruption(scheme):
+    codec = get_codec(scheme)
+    module = DecompressionModule(program_for_scheme(scheme))
+    rng = random.Random(hash(scheme) & 0xFFF)
+    values = [rng.randrange(0, 1 << 16) for _ in range(150)]
+    clean = codec.encode(values)
+    for _trial in range(40):
+        dirty = _corrupt(clean, rng)
+        try:
+            decoded = module.decode(dirty, len(values))
+        except (CompressionError, DecompressorProgramError):
+            continue
+        assert isinstance(decoded, list)
+        assert len(decoded) == len(values)
+        assert all(isinstance(v, int) and v >= 0 for v in decoded)
+
+
+def test_block_decode_corruption_is_contained(small_index):
+    """A corrupted block payload surfaces as a library error, never as
+    an arbitrary exception from deep inside the codec."""
+    term = small_index.terms[0]
+    posting_list = small_index.posting_list(term)
+    block = posting_list.blocks[0]
+    rng = random.Random(3)
+    from repro.index.blocks import Block
+
+    for _trial in range(30):
+        dirty = Block(
+            metadata=block.metadata,
+            doc_payload=_corrupt(block.doc_payload, rng),
+            tf_payload=block.tf_payload,
+        )
+        try:
+            postings = dirty.decode(posting_list.codec)
+        except CompressionError:
+            continue
+        assert len(postings) == block.metadata.count

@@ -1,0 +1,50 @@
+"""Unit tests for the d-gap transform."""
+
+import pytest
+
+from repro.compression import deltas_from_doc_ids, doc_ids_from_deltas
+from repro.errors import CompressionError
+
+
+class TestDeltas:
+    def test_basic_gaps(self):
+        assert deltas_from_doc_ids([0, 1, 2]) == [0, 0, 0]
+        assert deltas_from_doc_ids([5, 10, 11]) == [5, 4, 0]
+
+    def test_base_parameter(self):
+        assert deltas_from_doc_ids([100, 105], base=99) == [0, 4]
+
+    def test_roundtrip(self):
+        doc_ids = [3, 7, 8, 20, 21, 500]
+        deltas = deltas_from_doc_ids(doc_ids)
+        assert doc_ids_from_deltas(deltas) == doc_ids
+
+    def test_roundtrip_with_base(self):
+        doc_ids = [50, 51, 99]
+        deltas = deltas_from_doc_ids(doc_ids, base=42)
+        assert doc_ids_from_deltas(deltas, base=42) == doc_ids
+
+    def test_empty(self):
+        assert deltas_from_doc_ids([]) == []
+        assert doc_ids_from_deltas([]) == []
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(CompressionError):
+            deltas_from_doc_ids([1, 1])
+
+    def test_decreasing_rejected(self):
+        with pytest.raises(CompressionError):
+            deltas_from_doc_ids([5, 3])
+
+    def test_below_base_rejected(self):
+        with pytest.raises(CompressionError):
+            deltas_from_doc_ids([5], base=5)
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(CompressionError):
+            doc_ids_from_deltas([-1])
+
+    def test_dense_run_is_all_zero_gaps(self):
+        # Strictly-increasing-by-one docIDs become 0 gaps; this is what
+        # makes the S8b zero-run modes effective on dense lists.
+        assert deltas_from_doc_ids(list(range(100))) == [0] * 100

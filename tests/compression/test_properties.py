@@ -1,0 +1,75 @@
+"""Property-based tests (hypothesis) for codec and delta invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression import (
+    deltas_from_doc_ids,
+    doc_ids_from_deltas,
+    get_codec,
+    list_codecs,
+)
+
+#: Generic non-negative streams within every codec's 28-bit common range.
+streams = st.lists(st.integers(min_value=0, max_value=(1 << 28) - 1),
+                   max_size=300)
+
+#: Strictly increasing docID sequences.
+doc_id_lists = st.lists(
+    st.integers(min_value=0, max_value=1 << 30), unique=True, max_size=200
+).map(sorted)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=streams, name=st.sampled_from(sorted(list_codecs())))
+def test_roundtrip_any_codec(values, name):
+    """decode(encode(x)) == x for every codec on any in-range stream."""
+    codec = get_codec(name)
+    assert codec.decode(codec.encode(values), len(values)) == values
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=streams)
+def test_optpfd_at_most_pfd(values):
+    """OptPFD's exhaustive width scan never loses to the 90% rule."""
+    if not values:
+        return
+    pfd, opt = get_codec("PFD"), get_codec("OptPFD")
+    assert len(opt.encode(values)) <= len(pfd.encode(values))
+
+
+@settings(max_examples=60, deadline=None)
+@given(doc_ids=doc_id_lists)
+def test_delta_roundtrip(doc_ids):
+    """d-gap transform is a bijection on strictly increasing sequences."""
+    assert doc_ids_from_deltas(deltas_from_doc_ids(doc_ids)) == doc_ids
+
+
+@settings(max_examples=60, deadline=None)
+@given(doc_ids=doc_id_lists)
+def test_deltas_are_nonnegative(doc_ids):
+    assert all(d >= 0 for d in deltas_from_doc_ids(doc_ids))
+
+
+#: Codecs whose bitstream is consumed strictly left-to-right, one value at
+#: a time. PFD/OptPFD are excluded: their frame geometry depends on the
+#: total element count, so they must be decoded with the exact count that
+#: the per-block metadata records.
+STREAMING_CODECS = ("BP", "VB", "S16", "S8b")
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=streams, name=st.sampled_from(STREAMING_CODECS))
+def test_decode_is_prefix_stable(values, name):
+    """Decoding a shorter count returns a prefix of the full stream.
+
+    The block-fetch hardware relies on this for streaming schemes: it can
+    stop a decompression early once the overlap check rules out the rest
+    of a block.
+    """
+    if len(values) < 2:
+        return
+    codec = get_codec(name)
+    data = codec.encode(values)
+    half = len(values) // 2
+    assert codec.decode(data, half) == values[:half]

@@ -1,0 +1,77 @@
+"""Shared fixtures: deterministic small corpora and a brute-force oracle."""
+
+import random
+
+import pytest
+
+from repro.core.query import AndNode, OrNode, TermNode, flatten
+from repro.core.topk import TopKQueue
+from repro.index import IndexBuilder
+from repro.index.index import InvertedIndex
+
+
+def build_random_index(num_docs=1500, vocab_size=40, seed=42,
+                       schemes=None) -> InvertedIndex:
+    """A small, skewed random corpus (exponential term popularity)."""
+    rng = random.Random(seed)
+    vocab = [f"t{i}" for i in range(vocab_size)]
+    builder = IndexBuilder(schemes=schemes)
+    for _ in range(num_docs):
+        length = rng.randrange(5, 40)
+        doc = [
+            vocab[min(vocab_size - 1, int(rng.expovariate(0.12)))]
+            for _ in range(length)
+        ]
+        builder.add_document(doc)
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def small_index() -> InvertedIndex:
+    return build_random_index()
+
+
+def brute_force_topk(index: InvertedIndex, node, k: int):
+    """Oracle: decompress everything, evaluate the boolean condition per
+    document, score every query term present, rank with the same top-k
+    semantics as the hardware queue."""
+    node = flatten(node)
+
+    def docs_with(term):
+        return {p.doc_id: p.tf for p in index.posting_list(term).decode_all()}
+
+    per_term = {t: docs_with(t) for t in set(node.terms())}
+
+    def matching(n):
+        if isinstance(n, TermNode):
+            return set(per_term[n.term])
+        child_sets = [matching(c) for c in n.children]
+        if isinstance(n, AndNode):
+            out = child_sets[0]
+            for s in child_sets[1:]:
+                out = out & s
+            return out
+        out = set()
+        for s in child_sets:
+            out |= s
+        return out
+
+    scorer = index.scorer
+    queue = TopKQueue(k)
+    for doc in sorted(matching(node)):
+        score = sum(
+            scorer.term_score(index.posting_list(t).idf, tf_map[doc], doc)
+            for t, tf_map in per_term.items()
+            if doc in tf_map
+        )
+        queue.offer(doc, score)
+    return queue.results()
+
+
+def hits_as_pairs(result, digits=9):
+    """Normalize engine hits for comparison against the oracle."""
+    return [(h.doc_id, round(h.score, digits)) for h in result.hits]
+
+
+def oracle_as_pairs(oracle, digits=9):
+    return [(d, round(s, digits)) for d, s in oracle]

@@ -1,0 +1,190 @@
+"""Unit tests for the accounting posting-list cursor."""
+
+import pytest
+
+from repro.core.cursor import SKIP_ET, SKIP_OVERLAP, ListCursor
+from repro.errors import SimulationError
+from repro.index import IndexBuilder
+from repro.index.blocks import BLOCK_METADATA_BYTES, BLOCK_SIZE
+from repro.scm.traffic import AccessClass, AccessPattern, TrafficCounter
+from repro.sim.metrics import WorkCounters
+
+
+def _index_with_list(doc_ids, tfs=None):
+    """One-term index with fully controlled docIDs."""
+    builder = IndexBuilder(schemes=["BP"])
+    builder.declare_documents([20] * (doc_ids[-1] + 1))
+    tfs = tfs or [1] * len(doc_ids)
+    builder.add_postings("w", list(zip(doc_ids, tfs)))
+    return builder.build()
+
+
+def _cursor(index, skip_class=SKIP_ET):
+    work = WorkCounters()
+    traffic = TrafficCounter()
+    cursor = ListCursor(index.posting_list("w"), work, traffic,
+                        skip_class=skip_class)
+    return cursor, work, traffic
+
+
+class TestBasics:
+    def test_walks_all_postings(self):
+        doc_ids = list(range(0, 600, 2))
+        index = _index_with_list(doc_ids)
+        cursor, work, _ = _cursor(index)
+        seen = []
+        while not cursor.exhausted:
+            seen.append(cursor.current_doc())
+            cursor.step()
+        assert seen == doc_ids
+        assert work.postings_decoded == len(doc_ids)
+
+    def test_current_doc_at_block_start_needs_no_fetch(self):
+        index = _index_with_list(list(range(300)))
+        cursor, work, _ = _cursor(index)
+        assert cursor.current_doc() == 0
+        assert work.blocks_fetched == 0  # metadata carries the first docID
+
+    def test_current_tf_forces_fetch(self):
+        index = _index_with_list(list(range(300)), [3] * 300)
+        cursor, work, _ = _cursor(index)
+        assert cursor.current_tf() == 3
+        assert work.blocks_fetched == 1
+
+    def test_step_past_end_raises(self):
+        index = _index_with_list([1, 2])
+        cursor, _, _ = _cursor(index)
+        cursor.step()
+        cursor.step()
+        assert cursor.exhausted
+        with pytest.raises(SimulationError):
+            cursor.step()
+
+    def test_list_max_score_matches_index(self):
+        index = _index_with_list(list(range(100)))
+        cursor, _, _ = _cursor(index)
+        assert cursor.list_max_score == index.posting_list("w").max_term_score
+
+
+class TestAdvance:
+    def test_advance_within_block(self):
+        index = _index_with_list(list(range(0, 100, 5)))
+        cursor, work, _ = _cursor(index)
+        assert cursor.advance_to(31) == 35
+        assert cursor.current_doc() == 35
+
+    def test_advance_skips_whole_blocks(self):
+        # 5 blocks of dense docIDs; jump to the last block.
+        doc_ids = list(range(5 * BLOCK_SIZE))
+        index = _index_with_list(doc_ids)
+        cursor, work, _ = _cursor(index)
+        target = 4 * BLOCK_SIZE  # first docID of block 4
+        assert cursor.advance_to(target) == target
+        assert work.blocks_skipped_et == 4
+        # Landing exactly on a block boundary defers the payload fetch.
+        assert work.blocks_fetched == 0
+
+    def test_advance_mid_block_fetches_landing_block(self):
+        doc_ids = list(range(5 * BLOCK_SIZE))
+        index = _index_with_list(doc_ids)
+        cursor, work, _ = _cursor(index)
+        cursor.advance_to(4 * BLOCK_SIZE + 7)
+        assert work.blocks_fetched == 1
+        assert work.blocks_skipped_et == 4
+
+    def test_advance_past_end_returns_none(self):
+        index = _index_with_list([1, 5, 9])
+        cursor, _, _ = _cursor(index)
+        assert cursor.advance_to(100) is None
+        assert cursor.exhausted
+
+    def test_advance_is_monotone_noop_backwards(self):
+        index = _index_with_list([10, 20, 30])
+        cursor, _, _ = _cursor(index)
+        cursor.advance_to(30)
+        assert cursor.advance_to(5) == 30  # never moves backwards
+
+    def test_skip_attribution_overlap(self):
+        doc_ids = list(range(3 * BLOCK_SIZE))
+        index = _index_with_list(doc_ids)
+        cursor, work, _ = _cursor(index, skip_class=SKIP_OVERLAP)
+        cursor.advance_to(2 * BLOCK_SIZE)
+        assert work.blocks_skipped_overlap == 2
+        assert work.blocks_skipped_et == 0
+
+
+class TestShallowAdvance:
+    def test_shallow_never_fetches(self):
+        doc_ids = list(range(4 * BLOCK_SIZE))
+        index = _index_with_list(doc_ids)
+        cursor, work, _ = _cursor(index)
+        cursor.shallow_advance_to(3 * BLOCK_SIZE + 50)
+        assert work.blocks_fetched == 0
+        assert work.blocks_skipped_et == 3
+
+    def test_shallow_then_deep(self):
+        doc_ids = list(range(4 * BLOCK_SIZE))
+        index = _index_with_list(doc_ids)
+        cursor, work, _ = _cursor(index)
+        cursor.shallow_advance_to(2 * BLOCK_SIZE)
+        assert cursor.advance_to(2 * BLOCK_SIZE + 3) == 2 * BLOCK_SIZE + 3
+
+
+class TestPeek:
+    def test_peek_returns_block_bound(self):
+        doc_ids = list(range(2 * BLOCK_SIZE))
+        tfs = [1] * BLOCK_SIZE + [30] * BLOCK_SIZE  # hot second block
+        index = _index_with_list(doc_ids, tfs)
+        cursor, _, _ = _cursor(index)
+        first = cursor.peek_block_at(0)
+        second = cursor.peek_block_at(BLOCK_SIZE)
+        assert first is not None and second is not None
+        assert second[0] > first[0]  # hot block has the higher bound
+        assert first[1] == BLOCK_SIZE - 1
+
+    def test_peek_does_not_move_cursor(self):
+        index = _index_with_list(list(range(300)))
+        cursor, _, _ = _cursor(index)
+        cursor.peek_block_at(250)
+        assert cursor.current_doc() == 0
+
+    def test_peek_past_end_returns_none(self):
+        index = _index_with_list([1, 2, 3])
+        cursor, _, _ = _cursor(index)
+        assert cursor.peek_block_at(10) is None
+
+    def test_peek_window_widens_interval(self):
+        doc_ids = list(range(4 * BLOCK_SIZE))
+        index = _index_with_list(doc_ids)
+        cursor, _, _ = _cursor(index)
+        narrow = cursor.peek_block_at(0, window=1)
+        wide = cursor.peek_block_at(0, window=3)
+        assert wide[1] > narrow[1]
+        assert wide[0] >= narrow[0]
+
+
+class TestAccounting:
+    def test_metadata_charged_once_per_block(self):
+        doc_ids = list(range(3 * BLOCK_SIZE))
+        index = _index_with_list(doc_ids)
+        cursor, work, traffic = _cursor(index)
+        cursor.advance_to(2 * BLOCK_SIZE)
+        cursor.advance_to(2 * BLOCK_SIZE)  # repeat: no extra charge
+        assert work.metadata_inspected == 3
+        metadata_bytes = traffic.bytes_for(AccessClass.LD_LIST,
+                                           AccessPattern.SEQUENTIAL)
+        assert metadata_bytes == 3 * BLOCK_METADATA_BYTES
+
+    def test_payload_traffic_matches_block_size(self):
+        index = _index_with_list(list(range(100)))
+        cursor, _, traffic = _cursor(index)
+        cursor.current_tf()  # force one block fetch
+        payload = index.posting_list("w").blocks[0].compressed_bytes
+        total = traffic.bytes_for(AccessClass.LD_LIST)
+        assert total == payload + BLOCK_METADATA_BYTES
+
+    def test_unknown_skip_class_rejected(self):
+        index = _index_with_list([1])
+        with pytest.raises(SimulationError):
+            ListCursor(index.posting_list("w"), WorkCounters(),
+                       TrafficCounter(), skip_class="bogus")

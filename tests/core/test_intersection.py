@@ -1,0 +1,184 @@
+"""Intersection module tests: SvS correctness and block-skip accounting."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cursor import SKIP_OVERLAP, ListCursor
+from repro.core.groups import GroupCursor
+from repro.core.intersection import run_grouped_intersection, run_intersection
+from repro.errors import SimulationError
+from repro.index import IndexBuilder
+from repro.index.blocks import BLOCK_SIZE
+from repro.scm.traffic import TrafficCounter
+from repro.sim.metrics import WorkCounters
+
+
+def _build_index(term_postings, num_docs):
+    builder = IndexBuilder(schemes=["BP"])
+    builder.declare_documents([25] * num_docs)
+    for term, postings in term_postings.items():
+        builder.add_postings(term, postings)
+    return builder.build()
+
+
+def _cursors(index, terms):
+    work = WorkCounters()
+    traffic = TrafficCounter()
+    cursors = [
+        ListCursor(index.posting_list(t), work, traffic,
+                   skip_class=SKIP_OVERLAP)
+        for t in terms
+    ]
+    return cursors, work, traffic
+
+
+def _intersect(index, terms):
+    cursors, work, traffic = _cursors(index, terms)
+    matches = run_intersection(cursors, work)
+    return matches, work, traffic
+
+
+class TestPairwise:
+    def test_basic_overlap(self):
+        postings = {
+            "a": [(1, 1), (3, 2), (7, 1), (9, 4)],
+            "b": [(3, 1), (8, 2), (9, 1)],
+        }
+        index = _build_index(postings, 20)
+        matches, _, _ = _intersect(index, ["a", "b"])
+        assert [m[0] for m in matches] == [3, 9]
+        assert matches[0][1] == {"a": 2, "b": 1}
+
+    def test_empty_intersection(self):
+        postings = {"a": [(1, 1), (2, 1)], "b": [(10, 1), (11, 1)]}
+        index = _build_index(postings, 20)
+        matches, _, _ = _intersect(index, ["a", "b"])
+        assert matches == []
+
+    def test_identical_lists(self):
+        postings = {
+            "a": [(d, 1) for d in range(0, 50, 2)],
+            "b": [(d, 1) for d in range(0, 50, 2)],
+        }
+        index = _build_index(postings, 60)
+        matches, _, _ = _intersect(index, ["a", "b"])
+        assert [m[0] for m in matches] == list(range(0, 50, 2))
+
+    def test_no_terms_rejected(self):
+        with pytest.raises(SimulationError):
+            run_intersection([], WorkCounters())
+
+    def test_single_term_drains(self):
+        postings = {"a": [(2, 3), (4, 1)]}
+        index = _build_index(postings, 10)
+        matches, _, _ = _intersect(index, ["a"])
+        assert matches == [(2, {"a": 3}), (4, {"a": 1})]
+
+    def test_block_skipping_on_disjoint_ranges(self):
+        """Blocks of 'wide' far from 'narrow' must never be fetched."""
+        wide = [(d, 1) for d in range(10 * BLOCK_SIZE)]
+        narrow = [(5, 1), (9 * BLOCK_SIZE + 3, 1)]
+        index = _build_index({"wide": wide, "narrow": narrow},
+                             10 * BLOCK_SIZE + 10)
+        matches, work, _ = _intersect(index, ["wide", "narrow"])
+        assert [m[0] for m in matches] == [5, 9 * BLOCK_SIZE + 3]
+        # Only the two blocks of 'wide' containing the narrow docs are
+        # decoded; the eight between are skipped by the overlap check.
+        assert work.blocks_skipped_overlap >= 8
+        assert work.blocks_fetched <= 3
+
+
+class TestMultiTerm:
+    def test_three_term_iterative(self):
+        postings = {
+            "a": [(d, 1) for d in range(0, 300, 2)],
+            "b": [(d, 1) for d in range(0, 300, 3)],
+            "c": [(d, 1) for d in range(0, 300, 5)],
+        }
+        index = _build_index(postings, 400)
+        matches, work, _ = _intersect(index, ["a", "b", "c"])
+        assert [m[0] for m in matches] == list(range(0, 300, 30))
+        assert all(set(m[1]) == {"a", "b", "c"} for m in matches)
+        assert work.docs_matched == 10
+
+    def test_svs_order_is_smallest_first(self):
+        # The driver must be the smallest list regardless of call order.
+        postings = {
+            "big": [(d, 1) for d in range(1000)],
+            "small": [(500, 1)],
+        }
+        index = _build_index(postings, 1100)
+        matches, work, _ = _intersect(index, ["big", "small"])
+        assert [m[0] for m in matches] == [500]
+        # Driving from 'small' means most 'big' blocks are never decoded.
+        assert work.blocks_fetched <= 2
+
+    def test_four_terms_empty_early_exit(self):
+        postings = {
+            "a": [(1, 1)],
+            "b": [(2, 1)],
+            "c": [(d, 1) for d in range(500)],
+            "d": [(d, 1) for d in range(500)],
+        }
+        index = _build_index(postings, 600)
+        matches, work, _ = _intersect(index, ["a", "b", "c", "d"])
+        assert matches == []
+
+
+class TestGrouped:
+    def test_and_of_or_group(self):
+        postings = {
+            "a": [(d, 1) for d in range(0, 100, 2)],
+            "b": [(d, 1) for d in range(0, 100, 3)],
+            "c": [(d, 1) for d in range(0, 100, 7)],
+        }
+        index = _build_index(postings, 120)
+        work = WorkCounters()
+        traffic = TrafficCounter()
+
+        def cursor(term):
+            return ListCursor(index.posting_list(term), work, traffic,
+                              skip_class=SKIP_OVERLAP)
+
+        groups = [
+            GroupCursor([cursor("a")], work),
+            GroupCursor([cursor("b"), cursor("c")], work),
+        ]
+        matches = run_grouped_intersection(groups, work)
+        expected = sorted(
+            set(range(0, 100, 2)) & (set(range(0, 100, 3))
+                                     | set(range(0, 100, 7)))
+        )
+        assert [m[0] for m in matches] == expected
+        # Every member term present at a match contributes its tf.
+        for doc, tfs in matches:
+            assert "a" in tfs
+            assert ("b" in tfs) or ("c" in tfs)
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(SimulationError):
+            run_grouped_intersection([], WorkCounters())
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       num_terms=st.integers(min_value=2, max_value=4))
+def test_property_intersection_equals_set_ops(seed, num_terms):
+    rng = random.Random(seed)
+    num_docs = rng.randrange(100, 1200)
+    postings = {}
+    doc_sets = {}
+    for i in range(num_terms):
+        df = rng.randrange(1, num_docs)
+        doc_ids = sorted(rng.sample(range(num_docs), df))
+        postings[f"w{i}"] = [(d, rng.randrange(1, 9)) for d in doc_ids]
+        doc_sets[f"w{i}"] = set(doc_ids)
+    index = _build_index(postings, num_docs)
+    matches, _, _ = _intersect(index, list(postings))
+    expected = set.intersection(*doc_sets.values())
+    assert [m[0] for m in matches] == sorted(expected)
+    for _doc, tfs in matches:
+        assert set(tfs) == set(postings)

@@ -1,0 +1,84 @@
+"""Tests for the Memory Access Interface / TLB model."""
+
+import pytest
+
+from repro.core.mai import (
+    DEFAULT_PAGE_SIZE,
+    DEFAULT_TLB_ENTRIES,
+    MemoryAccessInterface,
+)
+from repro.errors import ConfigurationError, SimulationError
+
+GB = 1 << 30
+TB = 1 << 40
+
+
+class TestConfiguration:
+    def test_paper_sizing_covers_node_capacity(self):
+        """1K entries of 2GB pages cover the 2TB node (Section IV-D)."""
+        mai = MemoryAccessInterface()
+        assert mai.page_size == 2 * GB
+        assert mai.coverage == 2 * TB
+
+    def test_non_power_of_two_page_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryAccessInterface(page_size=3 * GB)
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryAccessInterface(tlb_entries=0)
+
+
+class TestTranslation:
+    def test_identity_mapping(self):
+        mai = MemoryAccessInterface()
+        mai.map_range(0, 0, 8 * GB)
+        assert mai.translate(5 * GB + 123) == 5 * GB + 123
+
+    def test_offset_mapping(self):
+        mai = MemoryAccessInterface()
+        mai.map_range(0, 16 * GB, 4 * GB)
+        assert mai.translate(2 * GB + 7) == 18 * GB + 7
+
+    def test_unmapped_address_raises(self):
+        mai = MemoryAccessInterface()
+        mai.map_range(0, 0, 2 * GB)
+        with pytest.raises(SimulationError):
+            mai.translate(100 * GB)
+
+    def test_negative_address_raises(self):
+        mai = MemoryAccessInterface()
+        with pytest.raises(SimulationError):
+            mai.translate(-1)
+
+    def test_unaligned_mapping_rejected(self):
+        mai = MemoryAccessInterface()
+        with pytest.raises(ConfigurationError):
+            mai.map_range(100, 0, 2 * GB)
+
+
+class TestTLBBehavior:
+    def test_no_misses_in_steady_state(self):
+        """The paper's claim: sized right, misses only warm the TLB."""
+        mai = MemoryAccessInterface()
+        mai.map_range(0, 0, 64 * GB)
+        # Touch every page once (cold), then sweep again (all hits).
+        for page in range(32):
+            mai.translate(page * 2 * GB)
+        cold_misses = mai.stats.misses
+        for page in range(32):
+            mai.translate(page * 2 * GB + 1)
+        assert mai.stats.misses == cold_misses == 32
+        assert mai.stats.hits == 32
+        assert mai.stats.hit_rate == 0.5
+
+    def test_undersized_tlb_thrashes(self):
+        mai = MemoryAccessInterface(page_size=2 * GB, tlb_entries=2)
+        mai.map_range(0, 0, 8 * GB)
+        for _ in range(3):
+            for page in range(4):  # working set of 4 > 2 entries
+                mai.translate(page * 2 * GB)
+        assert mai.stats.misses > 4
+
+    def test_hit_rate_empty(self):
+        assert MemoryAccessInterface().stats.hit_rate == 1.0

@@ -1,0 +1,151 @@
+"""Unit tests for query parsing, normalization, and classification."""
+
+import pytest
+
+from repro.core.query import (
+    AndNode,
+    OrNode,
+    TermNode,
+    classify_query,
+    flatten,
+    parse_query,
+    push_intersections_down,
+)
+from repro.errors import QueryError
+
+
+class TestParser:
+    def test_single_term(self):
+        assert parse_query('"cat"') == TermNode("cat")
+
+    def test_two_term_and(self):
+        node = parse_query('"a" AND "b"')
+        assert node == AndNode((TermNode("a"), TermNode("b")))
+
+    def test_two_term_or(self):
+        node = parse_query('"a" OR "b"')
+        assert node == OrNode((TermNode("a"), TermNode("b")))
+
+    def test_and_binds_tighter_than_or(self):
+        node = parse_query('"a" AND "b" OR "c"')
+        assert isinstance(node, OrNode)
+        assert node.children[0] == AndNode((TermNode("a"), TermNode("b")))
+        assert node.children[1] == TermNode("c")
+
+    def test_parentheses_override_precedence(self):
+        node = parse_query('"a" AND ("b" OR "c")')
+        assert isinstance(node, AndNode)
+        assert node.children[1] == OrNode((TermNode("b"), TermNode("c")))
+
+    def test_four_way_chain(self):
+        node = parse_query('"a" AND "b" AND "c" AND "d"')
+        assert isinstance(node, AndNode)
+        assert len(node.children) == 4
+
+    def test_nested_parentheses(self):
+        node = parse_query('(("a" OR "b") AND "c")')
+        assert isinstance(node, AndNode)
+
+    def test_terms_with_spaces_inside_quotes(self):
+        node = parse_query('"new york" OR "boston"')
+        assert node.terms() == ["new york", "boston"]
+
+    def test_empty_expression_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query('("a" AND "b"')
+
+    def test_bare_word_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query("cat")
+
+    def test_trailing_operator_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query('"a" AND')
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(QueryError):
+            parse_query('"a" "b"')
+
+    def test_str_round_trips_through_parser(self):
+        for expr in ['"a"', '"a" AND "b"', '"a" AND ("b" OR "c")']:
+            node = parse_query(expr)
+            assert parse_query(str(node)) == node
+
+
+class TestFlatten:
+    def test_nested_ands_merge(self):
+        node = AndNode((AndNode((TermNode("a"), TermNode("b"))),
+                        TermNode("c")))
+        flat = flatten(node)
+        assert flat == AndNode((TermNode("a"), TermNode("b"), TermNode("c")))
+
+    def test_nested_ors_merge(self):
+        node = OrNode((TermNode("a"),
+                       OrNode((TermNode("b"), TermNode("c")))))
+        assert len(flatten(node).children) == 3
+
+    def test_mixed_not_merged(self):
+        node = AndNode((TermNode("a"),
+                        OrNode((TermNode("b"), TermNode("c")))))
+        flat = flatten(node)
+        assert isinstance(flat, AndNode)
+        assert isinstance(flat.children[1], OrNode)
+
+    def test_single_child_collapses(self):
+        assert flatten(AndNode((TermNode("a"),))) == TermNode("a")
+
+
+class TestPushIntersectionsDown:
+    def test_q6_shape(self):
+        # A AND (B OR C) -> (A AND B) OR (A AND C), the paper's example.
+        node = parse_query('"a" AND ("b" OR "c")')
+        dnf = push_intersections_down(node)
+        assert isinstance(dnf, OrNode)
+        assert set(dnf.children) == {
+            AndNode((TermNode("a"), TermNode("b"))),
+            AndNode((TermNode("a"), TermNode("c"))),
+        }
+
+    def test_pure_and_unchanged(self):
+        node = parse_query('"a" AND "b"')
+        assert push_intersections_down(node) == node
+
+    def test_pure_or_unchanged(self):
+        node = parse_query('"a" OR "b" OR "c"')
+        assert push_intersections_down(node) == flatten(node)
+
+    def test_term_unchanged(self):
+        assert push_intersections_down(TermNode("x")) == TermNode("x")
+
+    def test_two_or_groups_distribute(self):
+        node = parse_query('("a" OR "b") AND ("c" OR "d")')
+        dnf = push_intersections_down(node)
+        assert isinstance(dnf, OrNode)
+        assert len(dnf.children) == 4
+
+
+class TestClassify:
+    @pytest.mark.parametrize("expr,expected", [
+        ('"a"', "Q1"),
+        ('"a" AND "b"', "Q2"),
+        ('"a" OR "b"', "Q3"),
+        ('"a" AND "b" AND "c" AND "d"', "Q4"),
+        ('"a" OR "b" OR "c" OR "d"', "Q5"),
+        ('"a" AND ("b" OR "c" OR "d")', "Q6"),
+    ])
+    def test_table_ii_types(self, expr, expected):
+        assert classify_query(parse_query(expr)) == expected
+
+    def test_three_term_and_is_mixed(self):
+        assert classify_query(parse_query('"a" AND "b" AND "c"')) == "mixed"
+
+    def test_or_of_and_is_mixed(self):
+        assert classify_query(parse_query('("a" AND "b") OR "c"')) == "mixed"
+
+    def test_terms_list_order(self):
+        node = parse_query('"a" AND ("b" OR "c")')
+        assert node.terms() == ["a", "b", "c"]

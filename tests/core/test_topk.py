@@ -1,0 +1,139 @@
+"""Unit + property tests for the shift-register top-k queue model."""
+
+import heapq
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topk import DEFAULT_K, TopKQueue
+from repro.errors import ConfigurationError
+
+
+class TestBasics:
+    def test_default_k_is_paper_value(self):
+        assert DEFAULT_K == 1000
+        assert TopKQueue().k == 1000
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TopKQueue(0)
+        with pytest.raises(ConfigurationError):
+            TopKQueue(-3)
+
+    def test_results_sorted_descending(self):
+        queue = TopKQueue(3)
+        for doc, score in [(1, 0.5), (2, 2.0), (3, 1.0)]:
+            queue.offer(doc, score)
+        assert queue.results() == [(2, 2.0), (3, 1.0), (1, 0.5)]
+
+    def test_eviction_of_lowest(self):
+        queue = TopKQueue(2)
+        queue.offer(1, 1.0)
+        queue.offer(2, 2.0)
+        queue.offer(3, 3.0)
+        assert [d for d, _ in queue.results()] == [3, 2]
+
+    def test_cutoff_zero_until_full(self):
+        queue = TopKQueue(3)
+        queue.offer(1, 5.0)
+        assert queue.cutoff == 0.0
+        queue.offer(2, 4.0)
+        queue.offer(3, 3.0)
+        assert queue.cutoff == 3.0
+
+    def test_cutoff_rises_monotonically(self):
+        queue = TopKQueue(2)
+        cutoffs = []
+        for doc, score in enumerate([1.0, 2.0, 3.0, 4.0, 0.5]):
+            queue.offer(doc, score)
+            cutoffs.append(queue.cutoff)
+        assert cutoffs == sorted(cutoffs)
+
+    def test_tie_loses_to_resident(self):
+        queue = TopKQueue(1)
+        queue.offer(1, 1.0)
+        assert not queue.offer(2, 1.0)
+        assert queue.results() == [(1, 1.0)]
+
+    def test_ties_inside_queue_keep_arrival_order(self):
+        queue = TopKQueue(3)
+        queue.offer(10, 1.0)
+        queue.offer(20, 1.0)
+        queue.offer(30, 1.0)
+        assert [d for d, _ in queue.results()] == [10, 20, 30]
+
+    def test_insert_count_tracked(self):
+        queue = TopKQueue(2)
+        for i in range(5):
+            queue.offer(i, float(i))
+        assert queue.inserts == 5
+
+    def test_result_bytes(self):
+        queue = TopKQueue(10)
+        queue.offer(1, 1.0)
+        queue.offer(2, 2.0)
+        assert queue.result_bytes == 16
+
+
+def _reference_topk(entries, k):
+    """Heap-based reference with the same tie rule (earlier wins)."""
+    heap = []  # (score, -arrival, doc); smallest is eviction candidate
+    for arrival, (doc, score) in enumerate(entries):
+        item = (score, -arrival, doc)
+        if len(heap) < k:
+            heapq.heappush(heap, item)
+        elif item > heap[0]:
+            heapq.heapreplace(heap, item)
+    ranked = sorted(heap, key=lambda e: (-e[0], -e[1]))
+    return [(doc, score) for score, _na, doc in ranked]
+
+
+class TestAgainstHeapReference:
+    def test_random_streams(self):
+        rng = random.Random(5)
+        for _ in range(50):
+            k = rng.randrange(1, 20)
+            entries = [
+                (doc, rng.choice([0.5, 1.0, 1.5, 2.0, rng.random() * 3]))
+                for doc in range(rng.randrange(0, 200))
+            ]
+            queue = TopKQueue(k)
+            for doc, score in entries:
+                queue.offer(doc, score)
+            assert queue.results() == _reference_topk(entries, k)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    scores=st.lists(
+        st.floats(min_value=0.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False),
+        max_size=150,
+    ),
+    k=st.integers(min_value=1, max_value=25),
+)
+def test_property_matches_heap(scores, k):
+    entries = list(enumerate(scores))
+    queue = TopKQueue(k)
+    for doc, score in entries:
+        queue.offer(doc, score)
+    assert queue.results() == _reference_topk(entries, k)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    scores=st.lists(st.floats(min_value=0.0, max_value=10.0,
+                              allow_nan=False), min_size=1, max_size=80),
+    k=st.integers(min_value=1, max_value=10),
+)
+def test_property_cutoff_is_min_of_results(scores, k):
+    queue = TopKQueue(k)
+    for doc, score in enumerate(scores):
+        queue.offer(doc, score)
+    results = queue.results()
+    if len(results) == k:
+        assert queue.cutoff == results[-1][1]
+    else:
+        assert queue.cutoff == 0.0

@@ -1,0 +1,70 @@
+"""Unit tests for the stage-2 primitive units."""
+
+import pytest
+
+from repro.decompressor.primitives import apply_op, unpack_word
+from repro.errors import DecompressorProgramError
+
+
+class TestOps:
+    @pytest.mark.parametrize("op,args,expected", [
+        ("AND", (0xFF, 0x0F), 0x0F),
+        ("OR", (0xF0, 0x0F), 0xFF),
+        ("XOR", (0xFF, 0x0F), 0xF0),
+        ("ADD", (3, 4), 7),
+        ("SUB", (10, 4), 6),
+        ("SHL", (1, 7), 128),
+        ("SHR", (0x80, 7), 1),
+        ("EQ", (5, 5), 1),
+        ("EQ", (5, 6), 0),
+        ("LT", (3, 5), 1),
+        ("GT", (3, 5), 0),
+        ("MUX", (1, 10, 20), 10),
+        ("MUX", (0, 10, 20), 20),
+    ])
+    def test_op_values(self, op, args, expected):
+        assert apply_op(op, args) == expected
+
+    def test_add_wraps_at_64_bits(self):
+        top = (1 << 64) - 1
+        assert apply_op("ADD", (top, 1)) == 0
+
+    def test_sub_wraps(self):
+        assert apply_op("SUB", (0, 1)) == (1 << 64) - 1
+
+    def test_shift_beyond_width_is_zero(self):
+        assert apply_op("SHL", (1, 64)) == 0
+        assert apply_op("SHR", (1, 64)) == 0
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(DecompressorProgramError):
+            apply_op("NAND", (1, 1))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(DecompressorProgramError):
+            apply_op("ADD", (1,))
+
+
+class TestUnpack:
+    def test_uniform_fields(self):
+        table = [(4, 4, 4, 4)]
+        word = (0b0100_0011_0010_0001 << 4) | 0  # selector 0
+        assert unpack_word(word, 4, table) == [1, 2, 3, 4]
+
+    def test_mixed_widths(self):
+        table = [(2, 6)]
+        # payload: low 2 bits = 3, next 6 bits = 42
+        word = ((42 << 2 | 3) << 4) | 0
+        assert unpack_word(word, 4, table) == [3, 42]
+
+    def test_zero_run_mode(self):
+        table = [(0, 7)]
+        assert unpack_word(0, 4, table) == [0] * 7
+
+    def test_selector_out_of_table_rejected(self):
+        with pytest.raises(DecompressorProgramError):
+            unpack_word(0xF, 4, [(1,) * 28])
+
+    def test_bad_zero_run_row_rejected(self):
+        with pytest.raises(DecompressorProgramError):
+            unpack_word(0, 4, [(0, 7, 7)])

@@ -1,0 +1,135 @@
+"""Unit tests for the configuration-program parser."""
+
+import pytest
+
+from repro.decompressor.configs import VB_PROGRAM_TEXT
+from repro.decompressor.program import parse_program
+from repro.errors import DecompressorProgramError
+
+
+class TestParsing:
+    def test_vb_program_structure(self):
+        program = parse_program(VB_PROGRAM_TEXT, name="VB")
+        assert program.extractor_mode == "byte"
+        assert program.registers == {"Reg": 0}
+        targets = [s.target for s in program.statements]
+        assert "Output" in targets
+        assert "Output.valid" in targets
+        assert "reset" in targets
+        assert not program.use_delta
+
+    def test_hex_and_decimal_literals(self):
+        program = parse_program("""
+# Stage 1
+extractor.mode = byte
+# Stage 2
+wire1 := AND(Input, 0x7F)
+wire2 := SHL(wire1, 3)
+Output := wire2
+# Stage 3
+exceptions = none
+# Stage 4
+use_delta = 1
+""")
+        and_stmt = program.statements[0]
+        assert and_stmt.args == ("Input", 0x7F)
+        shl_stmt = program.statements[1]
+        assert shl_stmt.args == ("wire1", 3)
+        assert program.use_delta
+
+    def test_plain_copy_statement(self):
+        program = parse_program("""
+# Stage 1
+extractor.mode = fixed
+extractor.header_bytes = 1
+# Stage 2
+Output := Input
+# Stage 3
+exceptions = none
+# Stage 4
+use_delta = 0
+""")
+        assert program.statements[0].op is None
+        assert program.header_bytes == 1
+
+    def test_selector_bits_parameter(self):
+        program = parse_program("""
+# Stage 1
+extractor.mode = word32
+# Stage 2
+selector_bits = 4
+Output := UNPACK(Input)
+# Stage 3
+exceptions = none
+# Stage 4
+use_delta = 0
+""")
+        assert program.selector_bits == 4
+        assert program.statements[0].op == "UNPACK"
+
+
+class TestErrors:
+    def test_statement_before_stage_header(self):
+        with pytest.raises(DecompressorProgramError):
+            parse_program("extractor.mode = byte")
+
+    def test_unknown_stage1_key(self):
+        with pytest.raises(DecompressorProgramError):
+            parse_program("# Stage 1\nextractor.endianness = big")
+
+    def test_bad_stage2_statement(self):
+        with pytest.raises(DecompressorProgramError):
+            parse_program("# Stage 1\nextractor.mode = byte\n"
+                          "# Stage 2\nOutput <= Input\n")
+
+    def test_unknown_extractor_mode(self):
+        with pytest.raises(DecompressorProgramError):
+            parse_program("""
+# Stage 1
+extractor.mode = nibble
+# Stage 2
+Output := Input
+# Stage 3
+exceptions = none
+# Stage 4
+use_delta = 0
+""")
+
+    def test_patch_requires_patched_extractor(self):
+        with pytest.raises(DecompressorProgramError):
+            parse_program("""
+# Stage 1
+extractor.mode = byte
+# Stage 2
+Output := Input
+# Stage 3
+exceptions = patch
+# Stage 4
+use_delta = 0
+""")
+
+    def test_program_without_output_rejected(self):
+        with pytest.raises(DecompressorProgramError):
+            parse_program("""
+# Stage 1
+extractor.mode = byte
+# Stage 2
+wire1 := AND(Input, 0x7F)
+# Stage 3
+exceptions = none
+# Stage 4
+use_delta = 0
+""")
+
+    def test_bad_stage3_line(self):
+        with pytest.raises(DecompressorProgramError):
+            parse_program("""
+# Stage 1
+extractor.mode = byte
+# Stage 2
+Output := Input
+# Stage 3
+patching = on
+# Stage 4
+use_delta = 0
+""")

@@ -1,0 +1,99 @@
+"""Tests for the pickle-free .bossx binary index format."""
+
+import pytest
+
+from repro.core import BossAccelerator, BossConfig
+from repro.errors import InvertedIndexError
+from repro.index.binaryio import load_index_binary, save_index_binary
+from tests.conftest import build_random_index
+
+
+@pytest.fixture(scope="module")
+def index():
+    return build_random_index(num_docs=300, vocab_size=18, seed=9)
+
+
+@pytest.fixture()
+def saved(index, tmp_path):
+    path = tmp_path / "corpus.bossx"
+    save_index_binary(index, path)
+    return path
+
+
+class TestRoundtrip:
+    def test_structure_preserved(self, index, saved):
+        loaded = load_index_binary(saved)
+        assert loaded.terms == index.terms
+        assert loaded.stats == index.stats
+        for term in index.terms:
+            original = index.posting_list(term)
+            restored = loaded.posting_list(term)
+            assert restored.scheme == original.scheme
+            assert restored.document_frequency == original.document_frequency
+            assert restored.idf == original.idf
+            assert restored.max_term_score == original.max_term_score
+            assert restored.region == original.region
+            assert restored.decode_all() == original.decode_all()
+
+    def test_block_metadata_preserved(self, index, saved):
+        loaded = load_index_binary(saved)
+        term = index.terms[0]
+        for a, b in zip(index.posting_list(term).blocks,
+                        loaded.posting_list(term).blocks):
+            assert a.metadata == b.metadata
+            assert a.doc_payload == b.doc_payload
+            assert a.tf_payload == b.tf_payload
+
+    def test_search_results_identical(self, index, saved):
+        loaded = load_index_binary(saved)
+        for expr in ('"t0"', '"t1" AND "t3"', '"t2" OR "t5"'):
+            a = BossAccelerator(index, BossConfig(k=20)).search(expr)
+            b = BossAccelerator(loaded, BossConfig(k=20)).search(expr)
+            assert [(h.doc_id, h.score) for h in a.hits] == [
+                (h.doc_id, h.score) for h in b.hits
+            ]
+
+    def test_unicode_terms(self, tmp_path):
+        from repro.index import IndexBuilder
+
+        builder = IndexBuilder()
+        builder.add_document(["café", "naïve", "東京"])
+        index = builder.build()
+        path = tmp_path / "uni.bossx"
+        save_index_binary(index, path)
+        loaded = load_index_binary(path)
+        assert "café" in loaded
+        assert "東京" in loaded
+
+
+class TestRobustness:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.bossx"
+        path.write_bytes(b"NOTBOSSX" + b"\x00" * 64)
+        with pytest.raises(InvertedIndexError):
+            load_index_binary(path)
+
+    def test_truncated_file_rejected(self, saved, tmp_path):
+        data = saved.read_bytes()
+        for cut in (len(data) // 4, len(data) // 2, len(data) - 3):
+            path = tmp_path / f"cut{cut}.bossx"
+            path.write_bytes(data[:cut])
+            with pytest.raises(InvertedIndexError):
+                load_index_binary(path)
+
+    def test_trailing_garbage_rejected(self, saved, tmp_path):
+        path = tmp_path / "trailing.bossx"
+        path.write_bytes(saved.read_bytes() + b"junk")
+        with pytest.raises(InvertedIndexError):
+            load_index_binary(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.bossx"
+        path.write_bytes(b"")
+        with pytest.raises(InvertedIndexError):
+            load_index_binary(path)
+
+    def test_no_pickle_involved(self, saved):
+        """The format must not smuggle pickle opcodes."""
+        data = saved.read_bytes()
+        assert not data.startswith(b"\x80")  # pickle protocol marker

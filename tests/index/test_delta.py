@@ -1,0 +1,118 @@
+"""Tests for the delta segment / near-real-time update path."""
+
+import pytest
+
+from repro.core import BossAccelerator, BossConfig
+from repro.errors import ConfigurationError, QueryError
+from repro.index import IndexBuilder
+from repro.index.delta import DeltaIndex, DeltaSegment
+
+
+def _base_engine():
+    builder = IndexBuilder()
+    builder.add_document("storage class memory is slow but vast".split())
+    builder.add_document("search engines rank documents".split())
+    builder.add_document("memory pools share a link".split())
+    return BossAccelerator(builder.build(), BossConfig(k=10))
+
+
+@pytest.fixture()
+def delta_index():
+    return DeltaIndex(_base_engine())
+
+
+class TestDeltaSegment:
+    def test_doc_ids_continue_after_base(self, delta_index):
+        assert delta_index.add_document(["fresh", "memory"]) == 3
+        assert delta_index.add_document(["newer", "doc"]) == 4
+        assert delta_index.delta_docs == 2
+
+    def test_empty_document_rejected(self):
+        segment = DeltaSegment(first_doc_id=0)
+        with pytest.raises(ConfigurationError):
+            segment.add_document([])
+
+    def test_postings_ascending(self):
+        segment = DeltaSegment(first_doc_id=10)
+        segment.add_document(["x"])
+        segment.add_document(["x", "y"])
+        assert segment.postings("x") == [(10, 1), (11, 1)]
+        assert "y" in segment
+        assert "z" not in segment
+
+
+class TestSearchAcrossSegments:
+    def test_base_only_query_unchanged(self, delta_index):
+        result = delta_index.search('"memory"', k=10)
+        assert sorted(result.doc_ids) == [0, 2]
+
+    def test_delta_doc_found(self, delta_index):
+        delta_index.add_document(["memory", "accelerator", "memory"])
+        result = delta_index.search('"memory"', k=10)
+        assert 3 in result.doc_ids
+
+    def test_delta_only_term(self, delta_index):
+        delta_index.add_document(["neuromorphic", "hardware"])
+        result = delta_index.search('"neuromorphic"', k=5)
+        assert result.doc_ids == [3]
+
+    def test_unknown_term_still_rejected(self, delta_index):
+        with pytest.raises(QueryError):
+            delta_index.search('"nowhere"')
+
+    def test_and_within_delta(self, delta_index):
+        delta_index.add_document(["alpha", "beta"])
+        delta_index.add_document(["alpha"])
+        result = delta_index.search('"alpha" AND "beta"', k=5)
+        assert result.doc_ids == [3]
+
+    def test_or_across_segments(self, delta_index):
+        delta_index.add_document(["fresh"])
+        result = delta_index.search('"search" OR "fresh"', k=5)
+        assert sorted(result.doc_ids) == [1, 3]
+
+    def test_and_across_segments_is_empty(self, delta_index):
+        # Segments hold disjoint docs: an AND of a base-only term with a
+        # delta-only term can never match one document.
+        delta_index.add_document(["fresh"])
+        result = delta_index.search('"search" AND "fresh"', k=5)
+        assert result.doc_ids == []
+
+    def test_delta_scores_positive_and_ranked(self, delta_index):
+        delta_index.add_document(["memory", "memory", "memory"])
+        result = delta_index.search('"memory"', k=10)
+        scores = [h.score for h in result.hits]
+        assert all(s > 0 for s in scores)
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestMerge:
+    def test_merge_equals_from_scratch_build(self, delta_index):
+        delta_index.add_document(["memory", "accelerator"])
+        delta_index.add_document(["bandwidth", "wall"])
+        merged = delta_index.merge()
+
+        scratch_builder = IndexBuilder()
+        scratch_builder.add_document(
+            "storage class memory is slow but vast".split()
+        )
+        scratch_builder.add_document("search engines rank documents".split())
+        scratch_builder.add_document("memory pools share a link".split())
+        scratch_builder.add_document(["memory", "accelerator"])
+        scratch_builder.add_document(["bandwidth", "wall"])
+        scratch = scratch_builder.build()
+
+        assert merged.terms == scratch.terms
+        assert merged.stats == scratch.stats
+        for term in merged.terms:
+            assert (
+                merged.posting_list(term).decode_all()
+                == scratch.posting_list(term).decode_all()
+            )
+
+    def test_merged_index_searches_with_fresh_stats(self, delta_index):
+        delta_index.add_document(["memory", "accelerator"])
+        merged = delta_index.merge()
+        engine = BossAccelerator(merged, BossConfig(k=10))
+        result = engine.search('"memory"')
+        assert sorted(result.doc_ids) == [0, 2, 3]

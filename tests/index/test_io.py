@@ -1,0 +1,69 @@
+"""Unit tests for index file serialization."""
+
+import pickle
+
+import pytest
+
+from repro.errors import InvertedIndexError
+from repro.index.io import load_index, save_index
+from tests.conftest import build_random_index
+
+
+@pytest.fixture(scope="module")
+def index():
+    return build_random_index(num_docs=200, vocab_size=15, seed=1)
+
+
+class TestRoundtrip:
+    def test_save_load(self, index, tmp_path):
+        path = tmp_path / "test.boss"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.terms == index.terms
+        assert loaded.stats == index.stats
+        for term in index.terms:
+            assert (
+                loaded.posting_list(term).decode_all()
+                == index.posting_list(term).decode_all()
+            )
+
+    def test_loaded_index_searches_identically(self, index, tmp_path):
+        from repro.core import BossAccelerator, BossConfig
+
+        path = tmp_path / "test.boss"
+        save_index(index, path)
+        loaded = load_index(path)
+        a = BossAccelerator(index, BossConfig(k=10)).search('"t0" OR "t1"')
+        b = BossAccelerator(loaded, BossConfig(k=10)).search('"t0" OR "t1"')
+        assert [(h.doc_id, h.score) for h in a.hits] == [
+            (h.doc_id, h.score) for h in b.hits
+        ]
+
+
+class TestErrors:
+    def test_not_an_index_file(self, tmp_path):
+        path = tmp_path / "junk.boss"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(InvertedIndexError):
+            load_index(path)
+
+    def test_foreign_pickle_rejected(self, tmp_path):
+        path = tmp_path / "foreign.boss"
+        with open(path, "wb") as handle:
+            pickle.dump({"some": "dict"}, handle)
+        with pytest.raises(InvertedIndexError):
+            load_index(path)
+
+    def test_wrong_version_rejected(self, index, tmp_path):
+        path = tmp_path / "old.boss"
+        with open(path, "wb") as handle:
+            pickle.dump(
+                {"magic": "repro-boss-index", "version": 999, "index": index},
+                handle,
+            )
+        with pytest.raises(InvertedIndexError):
+            load_index(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_index(tmp_path / "missing.boss")

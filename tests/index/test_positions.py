@@ -1,0 +1,108 @@
+"""Tests for positional postings and phrase search."""
+
+import pytest
+
+from repro.core import BossAccelerator, BossConfig
+from repro.errors import ConfigurationError, QueryError
+from repro.index import IndexBuilder
+from repro.index.positions import PhraseSearcher, PositionStore
+
+DOCUMENTS = [
+    "new york is a big city".split(),                 # 0: "new york"
+    "the new house in york county".split(),           # 1: both, apart
+    "brand new york style pizza in new york".split(), # 2: twice
+    "york new village".split(),                       # 3: reversed
+    "completely unrelated words here".split(),        # 4
+]
+
+
+@pytest.fixture(scope="module")
+def store():
+    return PositionStore.from_documents(DOCUMENTS)
+
+
+@pytest.fixture(scope="module")
+def searcher(store):
+    builder = IndexBuilder()
+    for doc in DOCUMENTS:
+        builder.add_document(doc)
+    engine = BossAccelerator(builder.build(), BossConfig(k=10))
+    return PhraseSearcher(engine, store)
+
+
+class TestPositionStore:
+    def test_positions_roundtrip(self, store):
+        assert store.positions("new", 0) == [0]
+        assert store.positions("new", 2) == [1, 6]
+        assert store.positions("york", 2) == [2, 7]
+
+    def test_missing_entry_empty(self, store):
+        assert store.positions("city", 3) == []
+        assert ("city", 0) in store
+        assert ("city", 3) not in store
+
+    def test_payload_accounting(self, store):
+        assert store.payload_bytes("new", 2) > 0
+        assert store.payload_bytes("zzz", 0) == 0
+        assert store.total_bytes > 0
+
+    def test_unsorted_positions_rejected(self):
+        store = PositionStore()
+        with pytest.raises(ConfigurationError):
+            store.add("x", 0, [5, 3])
+
+    def test_duplicate_positions_rejected(self):
+        store = PositionStore()
+        with pytest.raises(ConfigurationError):
+            store.add("x", 0, [3, 3])
+
+    def test_empty_positions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PositionStore().add("x", 0, [])
+
+    def test_double_add_rejected(self):
+        store = PositionStore()
+        store.add("x", 0, [1])
+        with pytest.raises(ConfigurationError):
+            store.add("x", 0, [2])
+
+
+class TestPhraseSearch:
+    def test_exact_phrase_only(self, searcher):
+        result = searcher.search_phrase(["new", "york"], k=10)
+        assert sorted(result.doc_ids) == [0, 2]
+
+    def test_reversed_order_not_matched(self, searcher):
+        result = searcher.search_phrase(["york", "new"], k=10)
+        assert result.doc_ids == [3]
+
+    def test_three_term_phrase(self, searcher):
+        result = searcher.search_phrase(["new", "york", "style"], k=10)
+        assert result.doc_ids == [2]
+
+    def test_no_match(self, searcher):
+        result = searcher.search_phrase(["big", "york"], k=10)
+        assert result.doc_ids == []
+
+    def test_results_ranked(self, searcher):
+        result = searcher.search_phrase(["new", "york"], k=10)
+        scores = [h.score for h in result.hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_truncates(self, searcher):
+        result = searcher.search_phrase(["new", "york"], k=1)
+        assert len(result.hits) == 1
+
+    def test_single_term_rejected(self, searcher):
+        with pytest.raises(QueryError):
+            searcher.search_phrase(["solo"])
+
+    def test_position_traffic_charged(self, searcher):
+        from repro.scm.traffic import AccessClass
+
+        result = searcher.search_phrase(["new", "york"], k=10)
+        assert result.traffic.bytes_for(AccessClass.LD_SCORE) > 0
+
+    def test_interconnect_is_topk_only(self, searcher):
+        result = searcher.search_phrase(["new", "york"], k=10)
+        assert result.interconnect_bytes == 8 * len(result.hits)

@@ -1,0 +1,88 @@
+"""Tests for the index integrity checker."""
+
+import pytest
+
+from repro.index.validate import validate_index
+from tests.conftest import build_random_index
+
+
+@pytest.fixture(scope="module")
+def index():
+    return build_random_index(num_docs=400, vocab_size=20, seed=5)
+
+
+class TestCleanIndex:
+    def test_built_index_validates(self, index):
+        report = validate_index(index)
+        assert report.ok, report.errors
+        assert report.terms_checked == index.num_terms
+        assert report.blocks_checked > 0
+        assert report.postings_checked == sum(
+            index.posting_list(t).document_frequency for t in index.terms
+        )
+
+    def test_structural_pass_is_cheaper_but_clean(self, index):
+        report = validate_index(index, check_scores=False)
+        assert report.ok
+
+    def test_sharded_index_warns_about_global_idf(self):
+        """Shard-global IDFs differ from local dfs: a warning, not an
+        error (by design — see repro.cluster)."""
+        import random
+
+        from repro.cluster import shard_documents
+
+        rng = random.Random(1)
+        words = [f"w{i}" for i in range(15)]
+        docs = [
+            [words[rng.randrange(0, 15)] for _ in range(8)]
+            for _ in range(200)
+        ]
+        sharded = shard_documents(docs, num_shards=2)
+        report = validate_index(sharded.indexes[0])
+        assert report.ok
+        assert any("shard-global" in w for w in report.warnings)
+
+
+class TestCorruptionDetection:
+    def _clone_with_block(self, index, term, block_index, **overrides):
+        """Rebuild one block's metadata with targeted corruption."""
+        import dataclasses
+
+        posting_list = index.posting_list(term)
+        block = posting_list.blocks[block_index]
+        meta = dataclasses.replace(block.metadata, **overrides)
+        corrupted = dataclasses.replace(block, metadata=meta)
+        posting_list.blocks[block_index] = corrupted
+        return index
+
+    def test_understated_max_score_detected(self, index):
+        clone = build_random_index(num_docs=400, vocab_size=20, seed=5)
+        term = clone.terms[0]
+        self._clone_with_block(clone, term, 0, max_term_score=1e-6)
+        report = validate_index(clone)
+        assert not report.ok
+        assert any("early termination" in e for e in report.errors)
+
+    def test_wrong_first_doc_id_detected(self):
+        clone = build_random_index(num_docs=400, vocab_size=20, seed=5)
+        term = clone.terms[1]
+        first = clone.posting_list(term).blocks[0].metadata.first_doc_id
+        self._clone_with_block(clone, term, 0, first_doc_id=first + 0,
+                               last_doc_id=10**6)
+        report = validate_index(clone, check_scores=False)
+        assert not report.ok
+
+    def test_corrupt_payload_detected(self):
+        import dataclasses
+
+        clone = build_random_index(num_docs=400, vocab_size=20, seed=5)
+        term = clone.terms[2]
+        posting_list = clone.posting_list(term)
+        block = posting_list.blocks[0]
+        posting_list.blocks[0] = dataclasses.replace(
+            block, doc_payload=block.doc_payload[:1]
+        )
+        report = validate_index(clone, check_scores=False)
+        assert not report.ok
+        assert any("decode" in e for e in report.errors)

@@ -1,0 +1,39 @@
+"""Unit tests for the shared host interconnect model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scm.device import GB
+from repro.scm.interconnect import CXL_LINK, InterconnectModel
+
+
+class TestCXLPreset:
+    def test_paper_bandwidth(self):
+        """Section II-C: 64 GB/s for a single CXL link."""
+        assert CXL_LINK.bandwidth == 64 * GB
+
+
+class TestTransfer:
+    def test_transfer_time(self):
+        link = InterconnectModel("l", bandwidth=1000.0)
+        assert link.transfer_time(500) == pytest.approx(0.5)
+
+    def test_zero_bytes_free(self):
+        assert CXL_LINK.transfer_time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CXL_LINK.transfer_time(-1)
+
+    def test_round_trip_includes_latencies(self):
+        link = InterconnectModel("l", bandwidth=1000.0, latency=0.1)
+        total = link.round_trip_time(100, 200)
+        assert total == pytest.approx(0.2 + 0.1 + 0.2)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterconnectModel("bad", bandwidth=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterconnectModel("bad", bandwidth=1.0, latency=-1e-9)

@@ -1,0 +1,35 @@
+"""Unit tests for work counters."""
+
+from repro.sim.metrics import WorkCounters
+
+
+class TestWorkCounters:
+    def test_defaults_zero(self):
+        work = WorkCounters()
+        assert work.blocks_fetched == 0
+        assert work.blocks_skipped == 0
+        assert work.blocks_considered == 0
+
+    def test_skip_aggregation(self):
+        work = WorkCounters(blocks_skipped_overlap=3, blocks_skipped_et=4)
+        assert work.blocks_skipped == 7
+
+    def test_blocks_considered(self):
+        work = WorkCounters(blocks_fetched=5, blocks_skipped_et=2)
+        assert work.blocks_considered == 7
+
+    def test_merge_accumulates_every_field(self):
+        a = WorkCounters(blocks_fetched=1, docs_evaluated=10, merge_ops=3)
+        b = WorkCounters(blocks_fetched=2, docs_evaluated=5, probe_reads=7)
+        a.merge(b)
+        assert a.blocks_fetched == 3
+        assert a.docs_evaluated == 15
+        assert a.merge_ops == 3
+        assert a.probe_reads == 7
+
+    def test_copy_independent(self):
+        a = WorkCounters(docs_evaluated=4)
+        b = a.copy()
+        b.docs_evaluated += 1
+        assert a.docs_evaluated == 4
+        assert b.docs_evaluated == 5

@@ -1,0 +1,86 @@
+"""Tests for the pipeline-stage breakdown analyzer."""
+
+import pytest
+
+from repro.core import BossAccelerator, BossConfig
+from repro.errors import ConfigurationError
+from repro.sim.pipeline import (
+    MEMORY_STAGE,
+    analyze_batch,
+    analyze_pipeline,
+)
+from repro.sim.timing import BossTimingModel, IIUTimingModel
+
+
+@pytest.fixture(scope="module")
+def boss_results(small_index):
+    engine = BossAccelerator(small_index, BossConfig(k=10))
+    return [
+        engine.search(q)
+        for q in ('"t0"', '"t1" AND "t3"', '"t2" OR "t5"')
+    ]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return BossTimingModel()
+
+
+class TestPerQuery:
+    def test_all_stages_present(self, model, boss_results):
+        report = analyze_pipeline(model, boss_results[0])
+        expected = set(model.module_names) | {MEMORY_STAGE}
+        assert set(report.stage_seconds) == expected
+
+    def test_critical_is_max_stage(self, model, boss_results):
+        report = analyze_pipeline(model, boss_results[0])
+        assert report.critical_seconds == pytest.approx(
+            max(report.stage_seconds.values())
+        )
+
+    def test_bottleneck_utilization_is_one(self, model, boss_results):
+        report = analyze_pipeline(model, boss_results[1])
+        utilization = report.utilization()
+        assert utilization[report.bottleneck] == pytest.approx(1.0)
+        assert all(0.0 <= u <= 1.0 + 1e-12 for u in utilization.values())
+
+    def test_consistent_with_timing_model(self, model, boss_results):
+        """The breakdown's compute stages reproduce compute_seconds."""
+        for result in boss_results:
+            report = analyze_pipeline(model, result)
+            compute_stages = {
+                k: v for k, v in report.stage_seconds.items()
+                if k != MEMORY_STAGE
+            }
+            expected = model.compute_seconds(result) - model.query_overhead
+            assert max(compute_stages.values()) == pytest.approx(expected)
+
+    def test_iiu_model_supported(self, small_index, boss_results):
+        from repro.baselines import IIUAccelerator, IIUConfig
+
+        iiu = IIUAccelerator(small_index, IIUConfig(k=10))
+        result = iiu.search('"t2" OR "t5"')
+        report = analyze_pipeline(IIUTimingModel(), result)
+        assert report.engine == "IIU"
+        # IIU's top-k is ignored per the paper: zero busy time.
+        assert report.stage_seconds["top-k"] == 0.0
+
+
+class TestBatch:
+    def test_batch_sums_stages(self, model, boss_results):
+        merged = analyze_batch(model, boss_results)
+        singles = [analyze_pipeline(model, r) for r in boss_results]
+        for stage in merged.stage_seconds:
+            assert merged.stage_seconds[stage] == pytest.approx(
+                sum(s.stage_seconds[stage] for s in singles)
+            )
+
+    def test_empty_batch_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            analyze_batch(model, [])
+
+    def test_cross_engine_merge_rejected(self, model, boss_results):
+        a = analyze_pipeline(model, boss_results[0])
+        b = analyze_pipeline(IIUTimingModel(), boss_results[0])
+        with pytest.raises(ConfigurationError):
+            a.merged_with(b)

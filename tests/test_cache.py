@@ -1,0 +1,114 @@
+"""Tests for the DRAM block-cache tier simulator."""
+
+import pytest
+
+from repro.cache import (
+    CacheSimulator,
+    LRUBlockCache,
+    cached_memory_seconds,
+)
+from repro.core import BossAccelerator, BossConfig
+from repro.errors import ConfigurationError
+
+
+class TestLRUBlockCache:
+    def test_miss_then_hit(self):
+        cache = LRUBlockCache(1024)
+        assert not cache.access("a", 0, 100)
+        assert cache.access("a", 0, 100)
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_capacity_eviction_is_lru(self):
+        cache = LRUBlockCache(200)
+        cache.access("a", 0, 100)
+        cache.access("b", 0, 100)
+        cache.access("a", 0, 100)  # touch a -> b is LRU
+        cache.access("c", 0, 100)  # evicts b
+        assert cache.access("a", 0, 100)
+        assert not cache.access("b", 0, 100)
+
+    def test_used_bytes_tracked(self):
+        cache = LRUBlockCache(300)
+        cache.access("a", 0, 120)
+        cache.access("a", 1, 80)
+        assert cache.used_bytes == 200
+        assert cache.num_blocks == 2
+
+    def test_oversized_block_never_cached(self):
+        cache = LRUBlockCache(50)
+        assert not cache.access("big", 0, 100)
+        assert not cache.access("big", 0, 100)  # still a miss
+        assert cache.used_bytes == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            LRUBlockCache(0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LRUBlockCache(10).access("a", 0, -1)
+
+
+class TestCacheSimulator:
+    def test_replay_accumulates(self):
+        sim = CacheSimulator(1000)
+        sim.replay([("a", 0, 100), ("a", 0, 100), ("b", 0, 50)])
+        report = sim.report()
+        assert report.hits == 1
+        assert report.misses == 2
+        assert report.dram_bytes == 100
+        assert report.scm_bytes == 150
+        assert report.bytes_absorbed_fraction == pytest.approx(100 / 250)
+
+    def test_empty_report(self):
+        report = CacheSimulator(100).report()
+        assert report.hit_rate == 0.0
+        assert report.bytes_absorbed_fraction == 0.0
+
+    def test_cached_memory_seconds_below_uncached(self):
+        sim = CacheSimulator(10_000)
+        trace = [("a", i % 4, 256) for i in range(100)]
+        sim.replay(trace)
+        report = sim.report()
+        from repro.scm.device import OPTANE_NODE_4CH
+        from repro.scm.traffic import AccessPattern
+
+        uncached = OPTANE_NODE_4CH.read_time(
+            report.dram_bytes + report.scm_bytes,
+            AccessPattern.SEQUENTIAL,
+        )
+        assert cached_memory_seconds(report) < uncached
+
+
+class TestEngineIntegration:
+    def test_fetch_log_records_engine_fetches(self, small_index):
+        engine = BossAccelerator(small_index, BossConfig(k=10))
+        engine.fetch_log = []
+        result = engine.search('"t0" OR "t2"')
+        assert len(engine.fetch_log) == result.work.blocks_fetched
+        assert all(size > 0 for _t, _b, size in engine.fetch_log)
+        assert {t for t, _b, _s in engine.fetch_log} <= {"t0", "t2"}
+
+    def test_repeated_queries_hit_the_cache(self, small_index):
+        engine = BossAccelerator(small_index, BossConfig(k=10))
+        sim = CacheSimulator(capacity_bytes=1 << 20)
+        for _ in range(5):
+            engine.fetch_log = []
+            engine.search('"t1" AND "t3"')
+            sim.replay(engine.fetch_log)
+        report = sim.report()
+        # Runs 2..5 hit entirely: hit rate 4/5 of all accesses.
+        assert report.hit_rate == pytest.approx(0.8)
+
+    def test_zipf_log_exists(self, small_index):
+        from repro.workloads.queries import QuerySampler
+
+        sampler = QuerySampler([f"t{i}" for i in range(40)], seed=2)
+        log = sampler.sample_zipf_log(num_queries=100, unique_queries=20)
+        assert len(log) == 100
+        expressions = [q.expression for q in log]
+        # Skew: the most popular query repeats.
+        top = max(set(expressions), key=expressions.count)
+        assert expressions.count(top) >= 5

@@ -1,0 +1,124 @@
+"""Tests for the repro-boss command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def docs_file(tmp_path):
+    path = tmp_path / "docs.txt"
+    path.write_text(
+        "storage class memory bridges dram and disk\n"
+        "the inverted index is the standard structure\n"
+        "\n"  # blank lines are skipped
+        "near data processing saves bandwidth\n"
+        "search accelerators score documents with bm25\n"
+    )
+    return path
+
+
+@pytest.fixture()
+def index_file(docs_file, tmp_path):
+    path = tmp_path / "corpus.boss"
+    assert main(["build", "--input", str(docs_file),
+                 "--output", str(path)]) == 0
+    return path
+
+
+class TestBuild:
+    def test_build_reports_counts(self, docs_file, tmp_path, capsys):
+        out = tmp_path / "x.boss"
+        assert main(["build", "--input", str(docs_file),
+                     "--output", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "indexed 4 documents" in captured
+        assert out.exists()
+
+    def test_build_with_pinned_scheme(self, docs_file, tmp_path, capsys):
+        out = tmp_path / "vb.boss"
+        assert main(["build", "--input", str(docs_file),
+                     "--output", str(out), "--scheme", "VB"]) == 0
+        assert main(["info", "--index", str(out)]) == 0
+        assert "VB=" in capsys.readouterr().out
+
+    def test_missing_input_errors(self, tmp_path):
+        assert main(["build", "--input", str(tmp_path / "nope.txt"),
+                     "--output", str(tmp_path / "o.boss")]) == 2
+
+    def test_build_with_analysis(self, tmp_path, capsys):
+        docs = tmp_path / "raw.txt"
+        docs.write_text("The Queries hit the caches!\n"
+                        "Cache misses are costly.\n")
+        out = tmp_path / "analyzed.boss"
+        assert main(["build", "--input", str(docs),
+                     "--output", str(out), "--analyze"]) == 0
+        # Stemming unifies "caches"/"Cache" -> "cache" across both docs.
+        assert main(["search", "--index", str(out),
+                     "--query", '"cache"']) == 0
+        found = capsys.readouterr().out
+        assert "doc 0" in found and "doc 1" in found
+
+
+class TestInfo:
+    def test_info_fields(self, index_file, capsys):
+        assert main(["info", "--index", str(index_file)]) == 0
+        out = capsys.readouterr().out
+        assert "documents:        4" in out
+        assert "scheme mix:" in out
+
+    def test_info_bad_file(self, tmp_path):
+        bad = tmp_path / "junk.boss"
+        bad.write_bytes(b"nope")
+        assert main(["info", "--index", str(bad)]) == 2
+
+
+class TestSearch:
+    def test_search_finds_documents(self, index_file, capsys):
+        assert main(["search", "--index", str(index_file),
+                     "--query", '"memory"']) == 0
+        out = capsys.readouterr().out
+        assert "doc 0" in out
+        assert "modeled latency" in out
+
+    @pytest.mark.parametrize("engine", ["boss", "iiu", "lucene"])
+    def test_all_engines(self, index_file, engine, capsys):
+        assert main(["search", "--index", str(index_file),
+                     "--query", '"the"', "--engine", engine]) == 0
+        assert "[Q1]" in capsys.readouterr().out
+
+    def test_no_hits_message(self, index_file, capsys):
+        assert main(["search", "--index", str(index_file),
+                     "--query", '"memory" AND "search"']) == 0
+        assert "no matching documents" in capsys.readouterr().out
+
+    def test_unknown_term_is_error(self, index_file, capsys):
+        assert main(["search", "--index", str(index_file),
+                     "--query", '"zzzz"']) == 2
+
+    def test_bad_query_syntax_is_error(self, index_file):
+        assert main(["search", "--index", str(index_file),
+                     "--query", "no quotes"]) == 2
+
+
+class TestDemo:
+    def test_demo_prints_comparison(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "BOSS" in out and "IIU" in out and "Lucene" in out
+        assert "speedup" in out
+
+
+class TestValidate:
+    def test_clean_index_validates(self, index_file, capsys):
+        assert main(["validate", "--index", str(index_file)]) == 0
+        assert "index OK" in capsys.readouterr().out
+
+    def test_fast_mode(self, index_file, capsys):
+        assert main(["validate", "--index", str(index_file),
+                     "--fast"]) == 0
+
+    def test_bad_file_is_error(self, tmp_path):
+        bad = tmp_path / "bad.boss"
+        bad.write_bytes(b"garbage")
+        assert main(["validate", "--index", str(bad)]) == 2

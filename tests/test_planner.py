@@ -1,0 +1,126 @@
+"""Tests for query cost estimation and SJF scheduling."""
+
+import pytest
+
+from repro.core import BossAccelerator, BossConfig
+from repro.core.scheduler import QueryScheduler
+from repro.errors import ConfigurationError, QueryError
+from repro.planner import PlannedScheduler, QueryPlanner
+from repro.sim.timing import BossTimingModel
+
+
+@pytest.fixture(scope="module")
+def planner(small_index):
+    return QueryPlanner(small_index, k=10)
+
+
+@pytest.fixture(scope="module")
+def engine(small_index):
+    return BossAccelerator(small_index, BossConfig(k=10))
+
+
+class TestEstimates:
+    def test_single_term_estimate_is_df(self, planner, small_index):
+        estimate = planner.estimate('"t0"')
+        df = small_index.posting_list("t0").document_frequency
+        assert estimate.matches == df
+        assert estimate.postings == df
+
+    def test_union_matches_bounded(self, planner, small_index):
+        estimate = planner.estimate('"t0" OR "t1"')
+        df0 = small_index.posting_list("t0").document_frequency
+        df1 = small_index.posting_list("t1").document_frequency
+        assert max(df0, df1) <= estimate.matches <= df0 + df1
+        assert estimate.postings == df0 + df1
+
+    def test_intersection_smaller_than_smallest_list(self, planner,
+                                                     small_index):
+        estimate = planner.estimate('"t0" AND "t1"')
+        smallest = min(
+            small_index.posting_list(t).document_frequency
+            for t in ("t0", "t1")
+        )
+        assert estimate.matches <= smallest
+
+    def test_et_discount_between_k_and_matches(self, planner):
+        estimate = planner.estimate('"t0" OR "t1"')
+        assert 10 <= estimate.evaluated <= estimate.matches
+
+    def test_intersections_score_all_matches(self, planner):
+        estimate = planner.estimate('"t0" AND "t1"')
+        assert estimate.evaluated == estimate.matches
+
+    def test_bytes_positive(self, planner):
+        assert planner.estimate('"t2" OR "t4"').list_bytes > 0
+
+    def test_unknown_term_rejected(self, planner):
+        with pytest.raises(QueryError):
+            planner.estimate('"nope"')
+
+    def test_invalid_k_rejected(self, small_index):
+        with pytest.raises(ConfigurationError):
+            QueryPlanner(small_index, k=0)
+
+
+class TestPredictivePower:
+    def test_estimates_rank_correlate_with_actuals(self, planner, engine):
+        """The planner's point is ordering, not absolutes: its cost
+        ranking must broadly agree with measured work."""
+        queries = ['"t0"', '"t30"', '"t0" OR "t1"', '"t20" AND "t25"',
+                   '"t0" AND "t1"', '"t5" OR "t9" OR "t12"']
+        estimated = [planner.estimate(q).cost for q in queries]
+        actual = [
+            engine.search(q).work.postings_decoded
+            + 4 * engine.search(q).work.docs_evaluated
+            for q in queries
+        ]
+
+        def ranks(xs):
+            order = sorted(range(len(xs)), key=lambda i: xs[i])
+            out = [0] * len(xs)
+            for rank, i in enumerate(order):
+                out[i] = rank
+            return out
+
+        re, ra = ranks(estimated), ranks(actual)
+        # Spearman's rho > 0.5 on this spread of query weights.
+        n = len(queries)
+        d2 = sum((a - b) ** 2 for a, b in zip(re, ra))
+        rho = 1 - 6 * d2 / (n * (n * n - 1))
+        assert rho > 0.5, (rho, list(zip(queries, re, ra)))
+
+
+class TestPlannedScheduler:
+    def test_sjf_orders_by_cost(self, planner, engine):
+        scheduler = PlannedScheduler(
+            planner, QueryScheduler(BossTimingModel(), num_cores=1)
+        )
+        queries = ['"t0" OR "t1"', '"t30"', '"t0" AND "t1"']
+        report, order = scheduler.run_batch(engine, queries)
+        costs = [planner.estimate(q).cost for q in queries]
+        assert [costs[i] for i in order] == sorted(costs)
+        assert len(report.completions) == len(queries)
+
+    def test_sjf_mean_latency_not_worse_than_reverse(self, planner,
+                                                     engine):
+        """On one core, SJF mean latency <= longest-first."""
+        queries = ['"t0" OR "t1"', '"t30"', '"t0" AND "t1"', '"t2"']
+        results = {q: engine.search(q) for q in queries}
+        model = BossTimingModel()
+        scheduler = QueryScheduler(model, num_cores=1)
+        costs = {q: planner.estimate(q).cost for q in queries}
+        sjf = scheduler.run(
+            [results[q] for q in sorted(queries, key=costs.get)]
+        )
+        ljf = scheduler.run(
+            [results[q] for q in sorted(queries, key=costs.get,
+                                        reverse=True)]
+        )
+        assert sjf.mean_latency <= ljf.mean_latency + 1e-12
+
+    def test_empty_batch_rejected(self, planner):
+        scheduler = PlannedScheduler(
+            planner, QueryScheduler(BossTimingModel())
+        )
+        with pytest.raises(ConfigurationError):
+            scheduler.run_batch(None, [])

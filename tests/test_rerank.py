@@ -1,0 +1,96 @@
+"""Tests for the software second-stage re-ranking pipeline."""
+
+import pytest
+
+from repro.core import BossAccelerator, BossConfig
+from repro.errors import ConfigurationError
+from repro.rerank import (
+    CandidateFeatures,
+    LinearReranker,
+    TwoStageSearch,
+    _doc_length_from_normalizer,
+)
+
+
+@pytest.fixture(scope="module")
+def engine(small_index):
+    return BossAccelerator(small_index, BossConfig(k=50))
+
+
+@pytest.fixture(scope="module")
+def pipeline(engine):
+    return TwoStageSearch(engine, first_stage_k=50)
+
+
+class TestLinearReranker:
+    def test_first_stage_score_dominates(self):
+        model = LinearReranker()
+        strong = CandidateFeatures(1, 10.0, 1, 2, 300)
+        weak = CandidateFeatures(2, 1.0, 2, 2, 300)
+        assert model.score(strong) > model.score(weak)
+
+    def test_coverage_breaks_ties(self):
+        model = LinearReranker()
+        full = CandidateFeatures(1, 5.0, 2, 2, 300)
+        partial = CandidateFeatures(2, 5.0, 1, 2, 300)
+        assert model.score(full) > model.score(partial)
+
+    def test_length_prior_peaks_at_preferred(self):
+        model = LinearReranker()
+        at_peak = CandidateFeatures(1, 0.0, 0, 1, 300)
+        short = CandidateFeatures(2, 0.0, 0, 1, 20)
+        long = CandidateFeatures(3, 0.0, 0, 1, 5000)
+        assert model.score(at_peak) > model.score(short)
+        assert model.score(at_peak) > model.score(long)
+
+    def test_zero_query_terms_safe(self):
+        model = LinearReranker()
+        assert model.score(CandidateFeatures(1, 1.0, 0, 0, 100)) > 0
+
+
+class TestTwoStagePipeline:
+    def test_returns_k_from_first_stage_pool(self, pipeline):
+        result = pipeline.search('"t0" OR "t3"', k=5)
+        assert len(result.hits) == 5
+        first_ids = {h.doc_id for h in result.first_stage.hits}
+        assert all(h.doc_id in first_ids for h in result.hits)
+
+    def test_hits_sorted_descending(self, pipeline):
+        result = pipeline.search('"t1" OR "t4"', k=10)
+        scores = [h.score for h in result.hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rerank_cost_tracks_candidates(self, pipeline):
+        result = pipeline.search('"t0"', k=5)
+        assert result.candidates == len(result.first_stage.hits)
+        assert result.rerank_seconds == pytest.approx(
+            result.candidates * LinearReranker().cost_per_candidate
+        )
+
+    def test_matched_terms_counted(self, engine, small_index):
+        pipeline = TwoStageSearch(engine, first_stage_k=30)
+        result = pipeline.search('"t0" OR "t1"', k=30)
+        # Every returned candidate matches at least one query term.
+        features = pipeline._features_for(result.first_stage)
+        assert all(1 <= f.matched_terms <= 2 for f in features)
+
+    def test_invalid_k_rejected(self, pipeline):
+        with pytest.raises(ConfigurationError):
+            pipeline.search('"t0"', k=0)
+
+    def test_invalid_first_stage_k_rejected(self, engine):
+        with pytest.raises(ConfigurationError):
+            TwoStageSearch(engine, first_stage_k=0)
+
+
+class TestNormalizerInversion:
+    def test_roundtrip(self, small_index):
+        scorer = small_index.scorer
+        for doc_id in (0, 7, 100):
+            recovered = _doc_length_from_normalizer(
+                scorer.length_normalizer(doc_id), scorer
+            )
+            # The stored normalizer encodes the true length exactly.
+            assert recovered == pytest.approx(
+                small_index.scorer._doc_lengths[doc_id], rel=1e-9
+            )

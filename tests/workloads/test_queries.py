@@ -1,0 +1,80 @@
+"""Tests for the TREC-like query sampler."""
+
+import pytest
+
+from repro.core.query import classify_query, parse_query
+from repro.errors import ConfigurationError
+from repro.workloads.queries import TYPE_TERMS, QuerySampler, QuerySpec
+
+
+@pytest.fixture(scope="module")
+def sampler():
+    terms = [f"term{i:03d}" for i in range(100)]
+    return QuerySampler(terms, seed=7)
+
+
+class TestQuerySpec:
+    @pytest.mark.parametrize("qtype", sorted(TYPE_TERMS))
+    def test_expression_parses_to_declared_type(self, qtype):
+        terms = tuple(f"w{i}" for i in range(TYPE_TERMS[qtype]))
+        spec = QuerySpec(qtype=qtype, terms=terms)
+        node = parse_query(spec.expression)
+        assert classify_query(node) == qtype
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuerySpec(qtype="Q9", terms=("a",)).expression
+
+
+class TestSampler:
+    def test_paper_batch_shape(self, sampler):
+        """100 one-term + 100 two-term + 100 four-term queries."""
+        qs = sampler.sample(queries_per_term_count=100)
+        assert len(qs) == 300
+        by_terms = {1: 0, 2: 0, 4: 0}
+        for q in qs:
+            by_terms[len(q.terms)] += 1
+        assert by_terms == {1: 100, 2: 100, 4: 100}
+
+    def test_type_assignment_compatible(self, sampler):
+        qs = sampler.sample(queries_per_term_count=30)
+        for q in qs:
+            assert len(q.terms) == TYPE_TERMS[q.qtype]
+
+    def test_terms_distinct_within_query(self, sampler):
+        qs = sampler.sample(queries_per_term_count=50)
+        for q in qs:
+            assert len(set(q.terms)) == len(q.terms)
+
+    def test_by_type_grouping(self, sampler):
+        qs = sampler.sample(queries_per_term_count=30)
+        grouped = qs.by_type()
+        assert sum(len(v) for v in grouped.values()) == len(qs)
+        for qtype, specs in grouped.items():
+            assert all(s.qtype == qtype for s in specs)
+
+    def test_sample_of_type(self, sampler):
+        qs = sampler.sample_of_type("Q5", 12)
+        assert len(qs) == 12
+        assert all(q.qtype == "Q5" for q in qs)
+
+    def test_sample_of_unknown_type_rejected(self, sampler):
+        with pytest.raises(ConfigurationError):
+            sampler.sample_of_type("Q0", 5)
+
+    def test_deterministic_for_seed(self):
+        terms = [f"t{i}" for i in range(50)]
+        a = QuerySampler(terms, seed=3).sample(10)
+        b = QuerySampler(terms, seed=3).sample(10)
+        assert [q.terms for q in a] == [q.terms for q in b]
+
+    def test_too_few_terms_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QuerySampler(["a", "b"], seed=0)
+
+    def test_df_stratification(self, sampler):
+        """Every query contains at least one head (common) term."""
+        head = set(sampler._head)
+        qs = sampler.sample_of_type("Q4", 25)
+        for q in qs:
+            assert head & set(q.terms)

@@ -1,0 +1,109 @@
+"""Tests for the TREC topic-file parser."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.text import KEYWORD_ANALYZER
+from repro.workloads.queries import TYPE_TERMS
+from repro.workloads.trec import parse_topics, queries_from_topics
+
+SAMPLE = """
+<top>
+<num> Number: 751
+<title> Scrabble Players
+
+<desc> Description:
+Give information on events and tournaments of Scrabble players.
+</top>
+
+<top>
+<num> Number: 752
+<title> Dam removal environmental impact
+<desc> Description:
+What is the environmental impact of removing dams?
+</top>
+
+<top>
+<num> Number: 753
+<title> bullying
+<desc> Description:
+Short single-word topic.
+</top>
+"""
+
+
+class TestParseTopics:
+    def test_extracts_all_topics(self):
+        topics = parse_topics(SAMPLE)
+        assert [t["number"] for t in topics] == [751, 752, 753]
+
+    def test_titles_analyzed(self):
+        topics = parse_topics(SAMPLE)
+        # "Scrabble Players" -> lowercased, stemmed.
+        assert topics[0]["terms"] == ["scrabble", "player"]
+
+    def test_keyword_analyzer_skips_stemming(self):
+        topics = parse_topics(SAMPLE, analyzer=KEYWORD_ANALYZER)
+        assert topics[0]["terms"] == ["scrabble", "players"]
+
+    def test_empty_input(self):
+        assert parse_topics("no topics here") == []
+
+    def test_topic_without_title_skipped(self):
+        text = "<top><num> Number: 9 </top>"
+        assert parse_topics(text) == []
+
+
+class TestQueriesFromTopics:
+    def test_type_assignment_matches_term_count(self):
+        queries = queries_from_topics(SAMPLE, seed=1)
+        assert len(queries) == 3
+        for query in queries:
+            assert len(query.terms) == TYPE_TERMS[query.qtype]
+
+    def test_four_term_truncation(self):
+        queries = queries_from_topics(SAMPLE, seed=1)
+        dam = next(q for q in queries if "dam" in q.terms)
+        assert len(dam.terms) == 4  # title has 4 analyzed terms
+
+    def test_single_word_topic_is_q1(self):
+        queries = queries_from_topics(SAMPLE, seed=1)
+        bully = next(q for q in queries if "bullying" in q.terms)
+        assert bully.qtype == "Q1"
+
+    def test_vocabulary_filter(self):
+        vocab = {"scrabble", "player", "bullying"}
+        queries = queries_from_topics(SAMPLE, seed=1, vocabulary=vocab)
+        terms = {t for q in queries for t in q.terms}
+        assert terms <= vocab
+
+    def test_deterministic(self):
+        a = queries_from_topics(SAMPLE, seed=5)
+        b = queries_from_topics(SAMPLE, seed=5)
+        assert [q.expression for q in a] == [q.expression for q in b]
+
+    def test_no_topics_rejected(self):
+        with pytest.raises(ConfigurationError):
+            queries_from_topics("nothing")
+
+    def test_everything_filtered_rejected(self):
+        with pytest.raises(ConfigurationError):
+            queries_from_topics(SAMPLE, vocabulary={"zzz"})
+
+    def test_expressions_parse_and_run(self, small_index):
+        """Generated expressions execute when the vocabulary matches."""
+        from repro.core import BossAccelerator, BossConfig
+
+        text = """
+<top>
+<num> Number: 1
+<title> t0 t1
+</top>
+"""
+        queries = queries_from_topics(
+            text, seed=0, analyzer=KEYWORD_ANALYZER,
+            vocabulary={"t0", "t1"},
+        )
+        engine = BossAccelerator(small_index, BossConfig(k=5))
+        result = engine.search(queries.queries[0].expression)
+        assert isinstance(result.hits, list)
