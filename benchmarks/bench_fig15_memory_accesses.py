@@ -9,11 +9,17 @@ ST Result. Shape targets:
 * BOSS's ST Result is a tiny constant (top-k only) while IIU stores the
   full result list;
 * LD List and LD Score shrink through the skip mechanisms.
+
+The per-class byte totals are read from :class:`QueryTrace` records
+(the observability layer's traffic attribution) rather than from the
+engines' raw counters.
 """
 
 import pytest
 
+from repro.observability import build_trace
 from repro.scm.traffic import AccessClass
+from repro.sim.timing import BossTimingModel, IIUTimingModel
 
 from conftest import QUERY_TYPES, emit_table
 
@@ -25,12 +31,17 @@ CLASSES = (
     AccessClass.ST_RESULT,
 )
 
+MODELS = {"IIU": IIUTimingModel(), "BOSS": BossTimingModel()}
+
 
 def _class_bytes(workload, engine, qt):
+    """Per-class byte totals, summed over the query type's traces."""
     totals = {cls: 0 for cls in CLASSES}
     for result in workload.results_of(engine, qt):
-        for cls, value in result.traffic.by_class().items():
-            totals[cls] += value
+        trace = build_trace(MODELS[engine], result, engine=engine)
+        by_class = trace.bytes_by_class()
+        for cls in CLASSES:
+            totals[cls] += by_class.get(cls.value, 0)
     return totals
 
 
@@ -85,3 +96,12 @@ def test_fig15_memory_access_breakdown(benchmark, ccnews, table):
     # IIU's multi-term intersections really do spill.
     assert table["Q4"]["IIU"][AccessClass.ST_INTER] > 0
     assert table["Q6"]["IIU"][AccessClass.ST_INTER] > 0
+
+    # Trace attribution conserves traffic: per-class totals match the
+    # engines' raw traffic counters exactly.
+    for engine_name in ("IIU", "BOSS"):
+        for qt in QUERY_TYPES:
+            raw = 0
+            for result in ccnews.results_of(engine_name, qt):
+                raw += result.traffic.total_bytes
+            assert sum(table[qt][engine_name].values()) == raw

@@ -6,56 +6,73 @@ bench shows where the cycles actually go per Table II query type —
 the visibility a cycle-level simulator gives — and checks the design
 intuition: unions stress decompression/scoring and the memory side,
 intersections concentrate in the block-fetch/merge path.
+
+Consumes the observability layer's :class:`QueryTrace` records (built
+from the recorded results) instead of reaching into the timing model's
+internals — the same data path as ``repro-boss trace``.
 """
 
 import pytest
 
-from repro.sim.pipeline import MEMORY_STAGE, analyze_batch
+from repro.observability import (
+    STAGE_MEMORY,
+    aggregate_stage_seconds,
+    batch_bottleneck,
+    build_trace,
+)
 from repro.sim.timing import BossTimingModel
 
 from conftest import QUERY_TYPES, emit_table
 
 STAGES = ("block-fetch", "decompression", "merger", "scoring", "top-k",
-          MEMORY_STAGE)
+          STAGE_MEMORY)
 
 
 @pytest.fixture(scope="module")
-def breakdowns(ccnews):
+def traces_by_type(ccnews):
     model = BossTimingModel()
     return {
-        qt: analyze_batch(model, ccnews.results_of("BOSS", qt))
+        qt: [build_trace(model, r)
+             for r in ccnews.results_of("BOSS", qt)]
         for qt in QUERY_TYPES
     }
 
 
-def test_pipeline_breakdown(benchmark, ccnews, breakdowns):
+def test_pipeline_breakdown(benchmark, ccnews, traces_by_type):
     model = BossTimingModel()
     results = ccnews.results_of("BOSS")[:60]
-    benchmark(lambda: analyze_batch(model, results))
+    benchmark(lambda: aggregate_stage_seconds(
+        build_trace(model, r) for r in results
+    ))
 
     lines = [f"{'qtype':<7}" + "".join(f"{s:>15}" for s in STAGES)
              + f"{'bottleneck':>15}"]
-    for qt, report in breakdowns.items():
-        total = sum(report.stage_seconds.values()) or 1.0
-        shares = {
-            stage: report.stage_seconds.get(stage, 0.0) / total
-            for stage in STAGES
-        }
+    stage_totals = {}
+    for qt, traces in traces_by_type.items():
+        totals = aggregate_stage_seconds(traces)
+        stage_totals[qt] = totals
+        grand = sum(totals.values()) or 1.0
+        shares = {stage: totals.get(stage, 0.0) / grand for stage in STAGES}
         lines.append(
             f"{qt:<7}"
             + "".join(f"{shares[s]:>14.1%} " for s in STAGES)
-            + f"{report.bottleneck:>15}"
+            + f"{batch_bottleneck(traces):>15}"
         )
     emit_table(
         "Extension: BOSS pipeline busy-time shares by query type", lines
     )
 
-    for qt, report in breakdowns.items():
-        stage_seconds = report.stage_seconds
-        assert all(v >= 0 for v in stage_seconds.values())
+    for qt, traces in traces_by_type.items():
+        totals = stage_totals[qt]
+        assert all(v >= 0 for v in totals.values())
         # Every query type does real decompression work.
-        assert stage_seconds["decompression"] > 0
+        assert totals["decompression"] > 0
+        # Traces are additive: per-trace stage times sum to the latency.
+        for trace in traces[:10]:
+            assert sum(s.seconds for s in trace.spans) == pytest.approx(
+                trace.latency_seconds
+            )
     # Unions lean on memory/decompression more than intersections do.
-    union_mem = breakdowns["Q5"].stage_seconds[MEMORY_STAGE]
-    inter_mem = breakdowns["Q4"].stage_seconds[MEMORY_STAGE]
+    union_mem = stage_totals["Q5"][STAGE_MEMORY]
+    inter_mem = stage_totals["Q4"][STAGE_MEMORY]
     assert union_mem > inter_mem

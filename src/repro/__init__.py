@@ -59,6 +59,13 @@ from repro.index import (
     InvertedIndex,
 )
 from repro.index.io import load_index, save_index
+from repro.observability import (
+    NULL_OBSERVER,
+    MetricsRegistry,
+    Observer,
+    QueryTrace,
+    RecordingObserver,
+)
 from repro.sim import (
     BossTimingModel,
     IIUTimingModel,
@@ -93,6 +100,12 @@ __all__ = [
     "SearchResult",
     "ScoredDocument",
     "TopKQueue",
+    # observability
+    "Observer",
+    "RecordingObserver",
+    "NULL_OBSERVER",
+    "MetricsRegistry",
+    "QueryTrace",
     # performance model
     "BossTimingModel",
     "IIUTimingModel",

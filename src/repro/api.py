@@ -30,6 +30,7 @@ from repro.decompressor.program import DecompressorProgram, parse_program
 from repro.errors import ConfigurationError, QueryError
 from repro.index.index import InvertedIndex
 from repro.index.io import load_index
+from repro.observability.observer import NULL_OBSERVER, Observer
 
 #: Hardware limit: four chained BOSS cores of 4-way mergers (Section IV-D).
 MAX_QUERY_TERMS = 16
@@ -38,12 +39,19 @@ MAX_QUERY_TERMS = 16
 class BossSession:
     """A host <-> BOSS communication session over one memory node."""
 
-    def __init__(self, config: BossConfig = BossConfig()) -> None:
+    def __init__(self, config: BossConfig = BossConfig(),
+                 observer: Observer = NULL_OBSERVER) -> None:
         self._config = config
+        self._observer = observer
         self._index: Optional[InvertedIndex] = None
         self._accelerator: Optional[BossAccelerator] = None
         self._programs: Dict[str, DecompressorProgram] = {}
         self.mai = MemoryAccessInterface()
+
+    @property
+    def observer(self) -> Observer:
+        """The observability hook threaded through this session."""
+        return self._observer
 
     # ------------------------------------------------------------------
     # init()
@@ -62,7 +70,8 @@ class BossSession:
         if isinstance(index, (str, Path)):
             index = load_index(index)
         self._index = index
-        self._accelerator = BossAccelerator(index, self._config)
+        self._accelerator = BossAccelerator(index, self._config,
+                                            observer=self._observer)
         self._programs = dict(BUILTIN_PROGRAMS)
         if config_file is not None:
             text = Path(config_file).read_text()
@@ -210,13 +219,24 @@ class BossSession:
         from repro.core.result import ScoredDocument
 
         hits = [ScoredDocument(d, s) for d, s in topk.results()]
-        return SearchResult(
+        result = SearchResult(
             query=node,
             hits=hits,
             traffic=total_traffic,
             work=total_work,
             interconnect_bytes=interconnect,
         )
+        if self._observer.enabled:
+            # One trace for the whole host-split query; each subquery
+            # occupies up to the full 4-core merger chain.
+            import math
+
+            cores = max(
+                math.ceil(len(chunk) / 4) for chunk in chunks
+            )
+            self._observer.on_query_complete(result, engine="BOSS",
+                                             cores_used=cores)
+        return result
 
     def comp_types(self, terms: List[str]) -> List[str]:
         """The ``compType`` array for a term list."""

@@ -34,7 +34,7 @@ FetchRecord = Tuple[str, int, int]
 class LRUBlockCache:
     """Byte-capacity LRU cache over posting-list blocks."""
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: int, observer=None) -> None:
         if capacity_bytes <= 0:
             raise ConfigurationError("cache capacity must be positive")
         self.capacity_bytes = capacity_bytes
@@ -42,6 +42,10 @@ class LRUBlockCache:
         self._used = 0
         self.hits = 0
         self.misses = 0
+        #: Observability hook; only consulted when ``observer.enabled``.
+        self._observer = (
+            observer if observer is not None and observer.enabled else None
+        )
 
     @property
     def used_bytes(self) -> int:
@@ -64,8 +68,12 @@ class LRUBlockCache:
         if key in self._entries:
             self._entries.move_to_end(key)
             self.hits += 1
+            if self._observer is not None:
+                self._observer.on_cache_access(True, size)
             return True
         self.misses += 1
+        if self._observer is not None:
+            self._observer.on_cache_access(False, size)
         if size > self.capacity_bytes:
             return False  # uncacheable oversized block
         while self._used + size > self.capacity_bytes and self._entries:
@@ -102,8 +110,8 @@ class CacheReport:
 class CacheSimulator:
     """Replays fetch traces through an LRU block cache."""
 
-    def __init__(self, capacity_bytes: int) -> None:
-        self._cache = LRUBlockCache(capacity_bytes)
+    def __init__(self, capacity_bytes: int, observer=None) -> None:
+        self._cache = LRUBlockCache(capacity_bytes, observer=observer)
         self._dram_bytes = 0
         self._scm_bytes = 0
 

@@ -1,16 +1,22 @@
-"""Command-line interface: build, inspect, and query BOSS indexes.
+"""Command-line interface: build, inspect, query, and profile indexes.
 
-Installed as the ``repro-boss`` console script::
+Installed as the ``repro-boss`` console script (``repro`` is an alias)::
 
-    repro-boss build  --input docs.txt --output corpus.boss
-    repro-boss info   --index corpus.boss
-    repro-boss search --index corpus.boss --query '"memory" AND "search"'
+    repro-boss build   --input docs.txt --output corpus.boss
+    repro-boss info    --index corpus.boss
+    repro-boss search  --index corpus.boss --query '"memory" AND "search"'
+    repro-boss trace   --index corpus.boss --query '"memory"'
+    repro-boss metrics --index corpus.boss --query '"memory"' --query '"a"'
     repro-boss demo
 
 ``build`` reads one whitespace-tokenized document per line. ``search``
 runs any of the three engines and reports the hits plus the performance
-model's traffic/latency estimates. ``demo`` builds a small synthetic
-corpus and prints the BOSS/IIU/Lucene comparison.
+model's traffic/latency estimates. ``trace`` profiles one query through
+the observability layer — a per-stage time/byte breakdown with the
+bottleneck stage flagged (``--json`` emits the full trace schema).
+``metrics`` executes a query list under a recording observer and dumps
+the metrics registry. ``demo`` builds a small synthetic corpus and
+prints the BOSS/IIU/Lucene comparison.
 """
 
 from __future__ import annotations
@@ -62,6 +68,25 @@ def _build_parser() -> argparse.ArgumentParser:
     check.add_argument("--index", required=True)
     check.add_argument("--fast", action="store_true",
                        help="structural checks only (skip score bounds)")
+
+    trace = sub.add_parser(
+        "trace", help="per-stage profile of one query (observability)")
+    trace.add_argument("--index", required=True)
+    trace.add_argument("--query", required=True,
+                       help='paper syntax, e.g. \'"a" AND "b"\'')
+    trace.add_argument("-k", type=int, default=10)
+    trace.add_argument("--engine", choices=("boss", "iiu"), default="boss")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the full trace record as JSON")
+
+    metrics = sub.add_parser(
+        "metrics", help="run queries and dump the metrics registry")
+    metrics.add_argument("--index", required=True)
+    metrics.add_argument("--query", action="append", required=True,
+                         help="query expression (repeatable)")
+    metrics.add_argument("-k", type=int, default=10)
+    metrics.add_argument("--json", action="store_true",
+                         help="emit the registry snapshot as JSON")
 
     sub.add_parser("demo", help="synthetic-corpus engine comparison")
     return parser
@@ -152,6 +177,53 @@ def _cmd_validate(args) -> int:
     return 1
 
 
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.observability import RecordingObserver, build_trace, render_trace
+
+    index = load_index(args.index)
+    if args.engine == "boss":
+        from repro.api import BossSession
+
+        observer = RecordingObserver()
+        session = BossSession(BossConfig(k=args.k), observer=observer)
+        session.init(index)
+        session.search(args.query, k=args.k)
+        trace = observer.last_trace
+    else:
+        engine = IIUAccelerator(index, IIUConfig(k=args.k))
+        result = engine.search(args.query, k=args.k)
+        trace = build_trace(IIUTimingModel(), result, engine="IIU")
+    if args.json:
+        print(json.dumps(trace.to_dict(), indent=2))
+    else:
+        print(render_trace(trace))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    from repro.api import BossSession
+    from repro.observability import RecordingObserver, render_metrics
+    from repro.scm.pool import MemoryPool
+
+    index = load_index(args.index)
+    observer = RecordingObserver()
+    MemoryPool().publish_metrics(observer.registry)
+    session = BossSession(BossConfig(k=args.k), observer=observer)
+    session.init(index)
+    for expression in args.query:
+        session.search(expression, k=args.k)
+    if args.json:
+        print(json.dumps(observer.registry.snapshot(), indent=2))
+    else:
+        print(f"{len(observer.traces)} queries recorded")
+        print(render_metrics(observer.registry))
+    return 0
+
+
 def _cmd_demo(_args) -> int:
     from repro.workloads import QuerySampler, make_corpus
 
@@ -190,6 +262,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "info": _cmd_info,
         "search": _cmd_search,
         "validate": _cmd_validate,
+        "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
         "demo": _cmd_demo,
     }
     try:

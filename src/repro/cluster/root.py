@@ -63,10 +63,14 @@ class SearchCluster:
     composes with every engine the library provides.
     """
 
-    def __init__(self, engines: List) -> None:
+    def __init__(self, engines: List, observer=None) -> None:
         if not engines:
             raise ConfigurationError("cluster needs at least one leaf")
         self._engines = list(engines)
+        #: Observability hook for the root (leaves carry their own).
+        self._observer = (
+            observer if observer is not None and observer.enabled else None
+        )
 
     @property
     def num_leaves(self) -> int:
@@ -102,6 +106,8 @@ class SearchCluster:
         candidates.sort(key=lambda hit: (-hit.score, hit.doc_id))
         merged.hits = candidates[:k]
         merged.merge_ops = len(candidates)
+        if self._observer is not None:
+            self._observer.on_cluster_complete(merged)
         return merged
 
 

@@ -43,12 +43,15 @@ class ListCursor:
                  work: WorkCounters, traffic: TrafficCounter,
                  pattern: AccessPattern = AccessPattern.SEQUENTIAL,
                  skip_class: str = SKIP_NONE,
-                 fetch_log: Optional[list] = None) -> None:
+                 fetch_log: Optional[list] = None,
+                 observer=None) -> None:
         if skip_class not in (SKIP_OVERLAP, SKIP_ET, SKIP_NONE):
             raise SimulationError(f"unknown skip class {skip_class!r}")
         #: Optional trace of payload fetches as (term, block_index,
         #: bytes) tuples — consumed by the DRAM block-cache simulator.
         self._fetch_log = fetch_log
+        #: Observability hook; only consulted when ``observer.enabled``.
+        self._observer = observer if observer is not None and observer.enabled else None
         self._list = posting_list
         self._work = work
         self._traffic = traffic
@@ -226,6 +229,9 @@ class ListCursor:
                 self._work.blocks_skipped_overlap += 1
             elif self._skip_class == SKIP_ET:
                 self._work.blocks_skipped_et += 1
+            if self._observer is not None:
+                self._observer.on_block_skip(self._list.term,
+                                             self._skip_class)
         self._block_index = new_index
         self._position = 0
         self._decoded_doc_ids = None
@@ -249,6 +255,10 @@ class ListCursor:
         if self._fetch_log is not None:
             self._fetch_log.append(
                 (self._list.term, self._block_index, block.compressed_bytes)
+            )
+        if self._observer is not None:
+            self._observer.on_block_fetch(
+                self._list.term, self._block_index, block.compressed_bytes
             )
 
     def _charge_metadata(self, block_index: int) -> None:

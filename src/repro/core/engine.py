@@ -48,6 +48,7 @@ from repro.core.topk import DEFAULT_K, TopKQueue
 from repro.core.union import run_union
 from repro.errors import QueryError
 from repro.index.index import InvertedIndex
+from repro.observability.observer import NULL_OBSERVER, Observer
 from repro.scm.traffic import AccessClass, AccessPattern, TrafficCounter
 from repro.sim.metrics import WorkCounters
 
@@ -94,12 +95,18 @@ class BossAccelerator:
     """Near-data search accelerator bound to one shard's inverted index."""
 
     def __init__(self, index: InvertedIndex,
-                 config: BossConfig = BossConfig()) -> None:
+                 config: BossConfig = BossConfig(),
+                 observer: Observer = NULL_OBSERVER) -> None:
         self._index = index
         self._config = config
+        self._observer = observer
         #: When set (a list), every block payload fetch is appended as
         #: (term, block_index, bytes) — input to the cache simulator.
         self.fetch_log = None
+
+    @property
+    def observer(self) -> Observer:
+        return self._observer
 
     @property
     def index(self) -> InvertedIndex:
@@ -119,6 +126,8 @@ class BossAccelerator:
         node = parse_query(query) if isinstance(query, str) else flatten(query)
         self._check_terms(node)
         k = self._config.k if k is None else k
+        if self._observer.enabled:
+            self._observer.on_query_start("BOSS", node, k)
 
         work = WorkCounters()
         traffic = TrafficCounter()
@@ -156,13 +165,18 @@ class BossAccelerator:
             accesses=1 if hits else 0,
         )
 
-        return SearchResult(
+        result = SearchResult(
             query=node,
             hits=hits,
             traffic=traffic,
             work=work,
             interconnect_bytes=result_bytes,
         )
+        if self._observer.enabled:
+            self._observer.on_query_complete(
+                result, engine="BOSS", cores_used=self.cores_used(node)
+            )
+        return result
 
     def cores_used(self, node: QueryNode) -> int:
         """BOSS cores a query occupies (4 terms per core, Section IV-D)."""
@@ -279,6 +293,7 @@ class BossAccelerator:
             pattern=AccessPattern.SEQUENTIAL,
             skip_class=skip_class,
             fetch_log=self.fetch_log,
+            observer=self._observer,
         )
 
     def _check_terms(self, node: QueryNode) -> None:

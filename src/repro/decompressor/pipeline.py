@@ -32,9 +32,14 @@ from repro.errors import DecompressorProgramError
 class DecompressionModule:
     """Executes decompression programs; one instance per hardware lane."""
 
-    def __init__(self, program: DecompressorProgram) -> None:
+    def __init__(self, program: DecompressorProgram,
+                 observer=None) -> None:
         program.validate()
         self._program = program
+        #: Observability hook; only consulted when ``observer.enabled``.
+        self._observer = (
+            observer if observer is not None and observer.enabled else None
+        )
 
     @property
     def program(self) -> DecompressorProgram:
@@ -47,6 +52,8 @@ class DecompressionModule:
         values are docIDs accumulated from ``base`` (the block metadata's
         preceding docID); otherwise they are the raw decoded integers.
         """
+        if self._observer is not None:
+            self._observer.on_decode(self._program.name, count)
         units, exceptions = self._extract(data, count)
         values = self._manipulate(units, count)
         if len(values) < count:

@@ -1,0 +1,228 @@
+"""Observer: the single object threaded through the execution stack.
+
+One :class:`Observer` instance travels ``BossSession -> BossAccelerator
+-> cursors / decompression modules / cluster root / block cache`` and
+receives callbacks at every instrumentation point. The default,
+:data:`NULL_OBSERVER`, is a do-nothing singleton with ``enabled =
+False`` — hot paths guard their callbacks behind that flag, so an
+un-observed run performs no extra work and changes no benchmark number.
+
+:class:`RecordingObserver` is the real implementation: it materializes a
+:class:`~repro.observability.trace.QueryTrace` per completed query and
+publishes aggregate counters/histograms into a
+:class:`~repro.observability.registry.MetricsRegistry`. All recorded
+times are the simulator's modeled times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.observability.registry import MetricsRegistry
+from repro.observability.trace import QueryTrace
+
+#: Explicit modeled-latency histogram buckets, in microseconds.
+LATENCY_BUCKETS_US = (1, 2, 5, 10, 20, 50, 100, 200, 500,
+                      1000, 2000, 5000, 10000, 50000)
+
+
+class Observer:
+    """No-op observer base class; also the null-object implementation.
+
+    Components call these hooks only when :attr:`enabled` is true (or
+    unconditionally on cold paths), so the base class doubles as a
+    zero-cost default. Subclasses override whichever hooks they need.
+    """
+
+    #: Hot paths skip their callbacks entirely when this is False.
+    enabled = False
+
+    def on_query_start(self, engine: str, node, k: int) -> None:
+        """A query entered an engine's ``search()``."""
+
+    def on_query_complete(self, result, engine: str = "BOSS",
+                          cores_used: int = 1) -> Optional[QueryTrace]:
+        """A query finished; ``result`` is the full SearchResult."""
+
+    def on_block_fetch(self, term: str, block_index: int,
+                       nbytes: int) -> None:
+        """The block fetch module pulled one compressed payload."""
+
+    def on_block_skip(self, term: str, mechanism: str) -> None:
+        """A block was skipped (``mechanism``: "et" or "overlap")."""
+
+    def on_decode(self, scheme: str, num_values: int) -> None:
+        """A decompression module emitted ``num_values`` values."""
+
+    def on_cache_access(self, hit: bool, nbytes: int) -> None:
+        """The DRAM block cache served (hit) or missed one block."""
+
+    def on_cluster_complete(self, cluster_result) -> None:
+        """The root merged one fanned-out query."""
+
+
+#: Shared do-nothing observer; the default everywhere.
+NULL_OBSERVER = Observer()
+
+
+class RecordingObserver(Observer):
+    """Collects per-query traces and publishes registry metrics."""
+
+    enabled = True
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 models: Optional[Dict[str, object]] = None,
+                 keep_traces: int = 0) -> None:
+        """``models`` maps engine names to timing models (defaults to
+        the BOSS and IIU models). ``keep_traces`` bounds the retained
+        trace list (0 = unbounded), for long-running sessions."""
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._models = models
+        self.traces: List[QueryTrace] = []
+        self._keep_traces = keep_traces
+        self._next_query_id = 0
+
+    # ------------------------------------------------------------------
+    # Convenience views
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self.registry
+
+    @property
+    def last_trace(self) -> Optional[QueryTrace]:
+        return self.traces[-1] if self.traces else None
+
+    def model_for(self, engine: str):
+        if self._models is None:
+            from repro.sim.timing import BossTimingModel, IIUTimingModel
+
+            self._models = {
+                "BOSS": BossTimingModel(),
+                "IIU": IIUTimingModel(),
+            }
+        try:
+            return self._models[engine]
+        except KeyError:
+            from repro.errors import ConfigurationError
+
+            known = ", ".join(sorted(self._models))
+            raise ConfigurationError(
+                f"no timing model registered for engine {engine!r} "
+                f"(known: {known})"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+
+    def on_query_start(self, engine: str, node, k: int) -> None:
+        self.registry.counter(
+            "queries.started", "queries entering search()"
+        ).inc(engine=engine)
+
+    def on_query_complete(self, result, engine: str = "BOSS",
+                          cores_used: int = 1) -> QueryTrace:
+        from repro.observability.profiler import build_trace
+
+        trace = build_trace(
+            self.model_for(engine), result,
+            query_id=self._next_query_id, engine=engine,
+            cores_used=cores_used,
+        )
+        self._next_query_id += 1
+        self.traces.append(trace)
+        if self._keep_traces and len(self.traces) > self._keep_traces:
+            del self.traces[0]
+        self._publish(trace)
+        return trace
+
+    def on_block_fetch(self, term: str, block_index: int,
+                       nbytes: int) -> None:
+        self.registry.counter(
+            "fetch.blocks", "compressed payload fetches"
+        ).inc()
+        self.registry.counter(
+            "fetch.bytes", "compressed payload bytes fetched"
+        ).inc(nbytes)
+
+    def on_block_skip(self, term: str, mechanism: str) -> None:
+        self.registry.counter(
+            "fetch.blocks_skipped", "blocks skipped without decoding"
+        ).inc(mechanism=mechanism)
+
+    def on_decode(self, scheme: str, num_values: int) -> None:
+        self.registry.counter(
+            "decompressor.calls", "decompression module invocations"
+        ).inc(scheme=scheme)
+        self.registry.counter(
+            "decompressor.values", "values emitted by the module"
+        ).inc(num_values, scheme=scheme)
+
+    def on_cache_access(self, hit: bool, nbytes: int) -> None:
+        outcome = "hit" if hit else "miss"
+        self.registry.counter(
+            "cache.accesses", "DRAM block-cache lookups"
+        ).inc(outcome=outcome)
+        self.registry.counter(
+            "cache.bytes", "bytes served per tier"
+        ).inc(nbytes, tier="dram" if hit else "scm")
+
+    def on_cluster_complete(self, cluster_result) -> None:
+        self.registry.counter(
+            "cluster.queries", "queries merged at the root"
+        ).inc()
+        self.registry.counter(
+            "cluster.shards_touched", "leaf shards that executed"
+        ).inc(cluster_result.shards_touched)
+        self.registry.counter(
+            "cluster.merge_ops", "root-side merge comparisons"
+        ).inc(cluster_result.merge_ops)
+        self.registry.counter(
+            "cluster.interconnect_bytes", "leaf->root result bytes"
+        ).inc(cluster_result.interconnect_bytes)
+
+    # ------------------------------------------------------------------
+    # Registry publication
+    # ------------------------------------------------------------------
+
+    def _publish(self, trace: QueryTrace) -> None:
+        registry = self.registry
+        registry.counter("queries.completed", "finished queries").inc(
+            engine=trace.engine, qtype=trace.query_type
+        )
+        registry.histogram(
+            "query.latency_us", LATENCY_BUCKETS_US,
+            "modeled serialized query latency (us)",
+        ).observe(trace.latency_seconds * 1e6, engine=trace.engine)
+        registry.histogram(
+            "query.pipelined_us", LATENCY_BUCKETS_US,
+            "modeled pipelined query latency (us)",
+        ).observe(trace.pipelined_seconds * 1e6, engine=trace.engine)
+        for entry in trace.traffic:
+            registry.counter(
+                "scm.bytes", "device bytes by class/pattern/tier"
+            ).inc(entry.bytes, cls=entry.access_class,
+                  pattern=entry.pattern, tier=entry.tier)
+            registry.counter(
+                "scm.accesses", "device accesses by class"
+            ).inc(entry.accesses, cls=entry.access_class)
+        for span in trace.spans:
+            registry.counter(
+                "pipeline.stage_seconds", "summed modeled stage time"
+            ).inc(span.seconds, stage=span.name, engine=trace.engine)
+        registry.counter(
+            "interconnect.bytes", "host-link bytes"
+        ).inc(trace.interconnect_bytes)
+        work = trace.work
+        for name in ("blocks_fetched", "blocks_skipped_et",
+                     "blocks_skipped_overlap", "postings_decoded",
+                     "docs_evaluated", "topk_inserts"):
+            if name in work:
+                registry.counter(
+                    f"work.{name}", f"summed {name} over queries"
+                ).inc(work[name], engine=trace.engine)
+        registry.counter("engine.cores_used", "core-occupancy sum").inc(
+            trace.cores_used, engine=trace.engine
+        )

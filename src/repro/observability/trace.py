@@ -1,0 +1,240 @@
+"""Structured per-query traces: spans, traffic attribution, work.
+
+A :class:`QueryTrace` is the record one ``search()`` leaves behind when a
+recording observer is attached: one :class:`Span` per pipeline stage of
+the paper's Figure 4(b) core —
+
+    block fetch -> decompression -> merger -> scoring -> top-k
+
+plus a ``memory`` transport span for the SCM service time. Span times
+are **modeled** seconds from the timing model (never wall clock), laid
+out back to back, so the trace satisfies two invariants the test suite
+pins:
+
+* **additivity** — span durations sum to ``latency_seconds``;
+* **traffic conservation** — span ``bytes_moved`` sum to the query's
+  ``TrafficCounter`` total (every access class is attributed to exactly
+  one functional stage; the memory span carries no bytes of its own
+  because it *is* the transport for the functional stages' bytes).
+
+``pipelined_seconds`` separately records the latency under the paper's
+fully-pipelined model (``max`` over stages plus dispatch overhead) —
+that is the number the throughput model uses; the serialized layout
+exists so "where did the time go" questions have an additive answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.scm.traffic import AccessClass, AccessPattern, TrafficCounter
+
+#: Canonical stage names, in pipeline order.
+STAGE_BLOCK_FETCH = "block-fetch"
+STAGE_DECOMPRESSION = "decompression"
+STAGE_MERGER = "merger"
+STAGE_SCORING = "scoring"
+STAGE_TOPK = "top-k"
+STAGE_MEMORY = "memory"
+
+PIPELINE_STAGES = (STAGE_BLOCK_FETCH, STAGE_DECOMPRESSION, STAGE_MERGER,
+                   STAGE_SCORING, STAGE_TOPK)
+ALL_STAGES = PIPELINE_STAGES + (STAGE_MEMORY,)
+
+#: Which functional stage each memory-access class is attributed to.
+CLASS_TO_STAGE = {
+    AccessClass.LD_LIST: STAGE_BLOCK_FETCH,
+    AccessClass.LD_SCORE: STAGE_SCORING,
+    AccessClass.LD_INTER: STAGE_MERGER,
+    AccessClass.ST_INTER: STAGE_MERGER,
+    AccessClass.ST_RESULT: STAGE_TOPK,
+}
+
+
+@dataclass(frozen=True)
+class TrafficEntry:
+    """One (class, pattern) bucket of a query's device traffic."""
+
+    access_class: str
+    pattern: str
+    direction: str  # "read" | "write"
+    tier: str       # "scm" by default; "dram" under a cache-tier study
+    bytes: int
+    accesses: int
+    stage: str      # functional stage the bytes are attributed to
+
+    def to_dict(self) -> dict:
+        return {
+            "class": self.access_class,
+            "pattern": self.pattern,
+            "direction": self.direction,
+            "tier": self.tier,
+            "bytes": self.bytes,
+            "accesses": self.accesses,
+            "stage": self.stage,
+        }
+
+
+@dataclass(frozen=True)
+class Span:
+    """One pipeline stage's modeled execution window."""
+
+    name: str
+    start_seconds: float
+    end_seconds: float
+    #: Device bytes attributed to this stage (0 for on-chip stages).
+    bytes_moved: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end_seconds < self.start_seconds:
+            raise ConfigurationError(
+                f"span {self.name!r} ends before it starts"
+            )
+
+    @property
+    def seconds(self) -> float:
+        return self.end_seconds - self.start_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_seconds": self.start_seconds,
+            "end_seconds": self.end_seconds,
+            "seconds": self.seconds,
+            "bytes_moved": self.bytes_moved,
+        }
+
+
+@dataclass
+class QueryTrace:
+    """Everything one query execution left behind."""
+
+    query_id: int
+    engine: str
+    expression: str
+    query_type: str
+    num_terms: int
+    cores_used: int
+    num_hits: int
+    spans: List[Span]
+    #: Serialized (additive) latency: sum of span durations.
+    latency_seconds: float
+    #: Fully-pipelined latency from the timing model (max over stages
+    #: plus dispatch overhead) — what the throughput model charges.
+    pipelined_seconds: float
+    interconnect_bytes: int
+    traffic: List[TrafficEntry] = field(default_factory=list)
+    #: Work-counter snapshot (field name -> count).
+    work: Dict[str, int] = field(default_factory=dict)
+    blocks_skipped_et: int = 0
+    blocks_skipped_overlap: int = 0
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        """Device bytes summed over every span (= traffic total)."""
+        return sum(span.bytes_moved for span in self.spans)
+
+    @property
+    def bottleneck(self) -> str:
+        """Stage with the largest modeled busy time."""
+        if not self.spans:
+            raise ConfigurationError("empty trace has no bottleneck")
+        return max(self.spans, key=lambda s: s.seconds).name
+
+    def stage_seconds(self) -> Dict[str, float]:
+        return {span.name: span.seconds for span in self.spans}
+
+    def stage_bytes(self) -> Dict[str, int]:
+        return {span.name: span.bytes_moved for span in self.spans}
+
+    def span(self, name: str) -> Span:
+        for candidate in self.spans:
+            if candidate.name == name:
+                return candidate
+        raise ConfigurationError(f"trace has no span {name!r}")
+
+    def bytes_by_class(self) -> Dict[str, int]:
+        """Byte totals per access class (Figure 15's categories)."""
+        out: Dict[str, int] = {}
+        for entry in self.traffic:
+            out[entry.access_class] = (
+                out.get(entry.access_class, 0) + entry.bytes
+            )
+        return out
+
+    def bytes_by(self, pattern: Optional[str] = None,
+                 direction: Optional[str] = None,
+                 tier: Optional[str] = None) -> int:
+        """Bytes filtered along the seq/random x read/write x tier axes."""
+        return sum(
+            e.bytes for e in self.traffic
+            if (pattern is None or e.pattern == pattern)
+            and (direction is None or e.direction == direction)
+            and (tier is None or e.tier == tier)
+        )
+
+    def utilization(self) -> Dict[str, float]:
+        """Each stage's share of the additive latency."""
+        if self.latency_seconds <= 0:
+            raise ConfigurationError("trace has zero latency")
+        return {
+            span.name: span.seconds / self.latency_seconds
+            for span in self.spans
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (the trace schema of the docs)."""
+        return {
+            "query_id": self.query_id,
+            "engine": self.engine,
+            "expression": self.expression,
+            "query_type": self.query_type,
+            "num_terms": self.num_terms,
+            "cores_used": self.cores_used,
+            "num_hits": self.num_hits,
+            "latency_seconds": self.latency_seconds,
+            "pipelined_seconds": self.pipelined_seconds,
+            "interconnect_bytes": self.interconnect_bytes,
+            "bottleneck": self.bottleneck,
+            "blocks_skipped_et": self.blocks_skipped_et,
+            "blocks_skipped_overlap": self.blocks_skipped_overlap,
+            "spans": [span.to_dict() for span in self.spans],
+            "traffic": [entry.to_dict() for entry in self.traffic],
+            "work": dict(self.work),
+        }
+
+
+def traffic_entries(traffic: TrafficCounter,
+                    tier: str = "scm") -> List[TrafficEntry]:
+    """Flatten a :class:`TrafficCounter` into per-bucket trace entries."""
+    entries: List[TrafficEntry] = []
+    for cls in AccessClass:
+        for pattern in AccessPattern:
+            nbytes = traffic.bytes_for(cls, pattern)
+            accesses = traffic.accesses_for(cls, pattern)
+            if nbytes == 0 and accesses == 0:
+                continue
+            entries.append(TrafficEntry(
+                access_class=cls.value,
+                pattern=pattern.value,
+                direction="write" if cls.is_write else "read",
+                tier=tier,
+                bytes=nbytes,
+                accesses=accesses,
+                stage=CLASS_TO_STAGE[cls],
+            ))
+    return entries
+
+
+def stage_byte_totals(entries: List[TrafficEntry]) -> Dict[str, int]:
+    """Per-stage byte attribution of a flattened traffic list."""
+    out: Dict[str, int] = {stage: 0 for stage in PIPELINE_STAGES}
+    for entry in entries:
+        out[entry.stage] = out.get(entry.stage, 0) + entry.bytes
+    return out

@@ -45,6 +45,15 @@ class InterconnectModel:
             + self.transfer_time(response_bytes)
         )
 
+    def publish_metrics(self, registry) -> None:
+        """Publish the link's static gauges into a metrics registry."""
+        registry.gauge(
+            "interconnect.bandwidth", "host link bandwidth (B/s)"
+        ).set(self.bandwidth, link=self.name)
+        registry.gauge(
+            "interconnect.latency_seconds", "one-way message latency"
+        ).set(self.latency, link=self.name)
+
 
 #: Single CXL link, Section II-C.
 CXL_LINK = InterconnectModel(name="cxl-x16", bandwidth=64 * GB, latency=1e-6)

@@ -69,3 +69,30 @@ class MemoryPool:
     def bandwidth_to_capacity_ratio(self) -> float:
         """Host-visible bytes/s per byte of capacity (falls as nodes grow)."""
         return self.interconnect.bandwidth / self.capacity
+
+    def publish_metrics(self, registry) -> None:
+        """Publish the pool's static topology gauges into a registry.
+
+        Called once per session by observability consumers; the gauges
+        describe the hardware configuration every per-query metric is
+        conditioned on (node count, capacity, internal vs host-visible
+        bandwidth).
+        """
+        registry.gauge(
+            "pool.nodes", "memory nodes in the pool"
+        ).set(len(self.nodes))
+        registry.gauge(
+            "pool.capacity_bytes", "total pooled SCM capacity"
+        ).set(self.capacity)
+        registry.gauge(
+            "pool.internal_bandwidth", "aggregate node-internal seq read B/s"
+        ).set(self.aggregate_internal_bandwidth)
+        registry.gauge(
+            "pool.bandwidth_to_capacity", "host-visible B/s per byte"
+        ).set(self.bandwidth_to_capacity_ratio)
+        for i, node in enumerate(self.nodes):
+            registry.gauge(
+                "pool.node_seq_read_bw", "per-node sequential read B/s"
+            ).set(node.device.seq_read_bw, node=str(i),
+                  device=node.device.name)
+        self.interconnect.publish_metrics(registry)

@@ -1,0 +1,137 @@
+"""Adversarial boundary fuzzing for every codec and the hybrid index.
+
+Systematic edge cases rather than random corruption (which
+``test_corruption.py`` covers): empty input, a single value, lengths
+straddling the 128-posting block size, maximum-magnitude gaps at each
+codec's declared ``max_value_bits``, and all-equal runs (delta gap 0).
+Every case must round-trip exactly; out-of-range values and truncated
+payloads must raise the dedicated :class:`CompressionError`.
+"""
+
+import random
+
+import pytest
+
+from repro.compression import get_codec, list_codecs
+from repro.decompressor import DecompressionModule, program_for_scheme
+from repro.errors import CompressionError
+from repro.index import BLOCK_SIZE, IndexBuilder
+
+ALL_SCHEMES = sorted(list_codecs())
+
+BOUNDARY_LENGTHS = (0, 1, BLOCK_SIZE - 1, BLOCK_SIZE, BLOCK_SIZE + 1)
+
+
+def _boundary_payloads(scheme):
+    """Adversarial value lists for one codec, by case name."""
+    codec = get_codec(scheme)
+    top = (1 << codec.max_value_bits) - 1
+    rng = random.Random(hash(scheme) & 0xFFFF)
+    payloads = {
+        "empty": [],
+        "single": [42],
+        "single-zero": [0],
+        "single-max": [top],
+        "all-equal": [7] * BLOCK_SIZE,
+        "all-zero": [0] * (BLOCK_SIZE - 1),
+        "max-gaps": [top, 0, top, 1, top] * 8,
+        "ramp": list(range(BLOCK_SIZE + 1)),
+        "alternating": [0, top] * (BLOCK_SIZE // 2),
+        "random-wide": [rng.randrange(top + 1) for _ in range(200)],
+    }
+    for length in BOUNDARY_LENGTHS:
+        payloads[f"len-{length}"] = [
+            rng.randrange(1 << 16) for _ in range(length)
+        ]
+    return payloads
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_round_trip_at_every_boundary(scheme):
+    codec = get_codec(scheme)
+    for case, values in _boundary_payloads(scheme).items():
+        encoded = codec.encode(values)
+        decoded = codec.decode(encoded, len(values))
+        assert decoded == values, f"{scheme}: {case}"
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_decompression_module_agrees_with_codec(scheme):
+    codec = get_codec(scheme)
+    module = DecompressionModule(program_for_scheme(scheme))
+    for case, values in _boundary_payloads(scheme).items():
+        encoded = codec.encode(values)
+        assert module.decode(encoded, len(values)) == values, \
+            f"{scheme}: {case}"
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_over_limit_value_raises(scheme):
+    codec = get_codec(scheme)
+    with pytest.raises(CompressionError):
+        codec.encode([1 << codec.max_value_bits])
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_negative_value_raises(scheme):
+    with pytest.raises(CompressionError):
+        get_codec(scheme).encode([3, -1, 5])
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_truncated_payload_raises_dedicated_error(scheme):
+    codec = get_codec(scheme)
+    values = list(range(0, 2 * BLOCK_SIZE, 2))
+    encoded = codec.encode(values)
+    with pytest.raises(CompressionError):
+        codec.decode(b"", len(values))
+    # Cutting the payload in half must never silently succeed with a
+    # full-length result of correct values.
+    try:
+        decoded = codec.decode(encoded[: len(encoded) // 2], len(values))
+    except CompressionError:
+        return
+    assert decoded != values
+
+
+@pytest.mark.parametrize("num_docs",
+                         [1, BLOCK_SIZE - 1, BLOCK_SIZE, BLOCK_SIZE + 1,
+                          3 * BLOCK_SIZE + 1])
+def test_hybrid_index_round_trips_boundary_list_lengths(num_docs):
+    # End-to-end: a posting list whose length straddles block
+    # boundaries survives the builder's hybrid scheme selection.
+    builder = IndexBuilder()
+    for doc_id in range(num_docs):
+        builder.add_document(["common", f"filler{doc_id % 7}"])
+    index = builder.build()
+    postings = index.posting_list("common").decode_all()
+    assert [p.doc_id for p in postings] == list(range(num_docs))
+    assert all(p.tf == 1 for p in postings)
+
+
+def test_hybrid_index_with_adversarial_gaps():
+    # Doc-ID gaps of wildly different magnitudes in one list: dense
+    # runs (delta 1) followed by a sparse tail, crossing block edges.
+    builder = IndexBuilder()
+    doc_ids = (list(range(BLOCK_SIZE + 3))
+               + [BLOCK_SIZE + 1000, BLOCK_SIZE + 1001, 500_000])
+    next_doc = 0
+    for doc_id in doc_ids:
+        while next_doc < doc_id:
+            builder.add_document(["padding"])
+            next_doc += 1
+        builder.add_document(["needle", "padding"])
+        next_doc += 1
+    index = builder.build()
+    postings = index.posting_list("needle").decode_all()
+    assert [p.doc_id for p in postings] == doc_ids
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_pinned_scheme_index_round_trips(scheme):
+    builder = IndexBuilder(schemes=[scheme])
+    for doc_id in range(BLOCK_SIZE + 5):
+        builder.add_document(["term", f"other{doc_id % 3}"])
+    index = builder.build()
+    postings = index.posting_list("term").decode_all()
+    assert [p.doc_id for p in postings] == list(range(BLOCK_SIZE + 5))

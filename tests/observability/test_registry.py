@@ -1,0 +1,144 @@
+"""Unit tests for the metrics registry primitives."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability import MetricsRegistry
+from repro.observability.registry import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c", "help")
+        assert counter.total() == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.total() == 5
+
+    def test_labels_partition_the_series(self):
+        counter = Counter("c", "help")
+        counter.inc(2, engine="BOSS")
+        counter.inc(3, engine="IIU")
+        counter.inc(5, engine="BOSS")
+        assert counter.value(engine="BOSS") == 7
+        assert counter.value(engine="IIU") == 3
+        assert counter.total() == 10
+
+    def test_label_order_is_irrelevant(self):
+        counter = Counter("c", "help")
+        counter.inc(1, a="x", b="y")
+        counter.inc(1, b="y", a="x")
+        assert counter.value(a="x", b="y") == 2
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c", "help")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_unseen_labels_read_zero(self):
+        assert Counter("c", "help").value(engine="nope") == 0
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g", "help")
+        gauge.set(10)
+        gauge.add(-3)
+        assert gauge.value() == 7
+
+    def test_labelled_series_are_independent(self):
+        gauge = Gauge("g", "help")
+        gauge.set(1, node="0")
+        gauge.set(9, node="1")
+        assert gauge.value(node="0") == 1
+        assert gauge.value(node="1") == 9
+
+
+class TestHistogram:
+    def test_observe_counts_and_sums(self):
+        hist = Histogram("h", (1, 10, 100), "help")
+        for value in (0.5, 5, 50, 500):
+            hist.observe(value)
+        assert hist.count() == 4
+        assert hist.sum() == pytest.approx(555.5)
+
+    def test_bucket_counts_include_implicit_inf(self):
+        hist = Histogram("h", (1, 10, 100), "help")
+        for value in (0.5, 5, 50, 500):
+            hist.observe(value)
+        # One observation per finite bucket, one in the +inf overflow.
+        assert hist.bucket_counts() == [1, 1, 1, 1]
+
+    def test_boundary_lands_in_lower_bucket(self):
+        hist = Histogram("h", (1, 10), "help")
+        hist.observe(1)
+        hist.observe(10)
+        assert hist.bucket_counts() == [1, 1, 0]
+
+    def test_quantile_is_monotone(self):
+        hist = Histogram("h", (1, 2, 5, 10, 20), "help")
+        for value in range(1, 20):
+            hist.observe(value)
+        assert hist.quantile(0.5) <= hist.quantile(0.99)
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        assert Histogram("h", (1, 2), "help").quantile(0.5) == 0.0
+
+    def test_buckets_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", (10, 1), "help")
+
+    def test_buckets_must_be_finite(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", (1, float("inf")), "help")
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x", "help")
+        b = registry.counter("x")
+        assert a is b
+
+    def test_kind_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x", "help")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+
+    def test_histogram_bucket_conflict_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1, 2), "help")
+        assert registry.histogram("h", (1, 2)) is registry.get("h")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("h", (1, 2, 3))
+
+    def test_contains_and_names(self):
+        registry = MetricsRegistry()
+        registry.counter("a", "help")
+        registry.gauge("b", "help")
+        assert "a" in registry and "b" in registry
+        assert "c" not in registry
+        assert registry.names() == ["a", "b"]
+
+    def test_snapshot_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help").inc(3, engine="BOSS")
+        registry.gauge("g", "help").set(1.5)
+        registry.histogram("h", (1, 10), "help").observe(4)
+        snapshot = registry.snapshot()
+        round_tripped = json.loads(json.dumps(snapshot))
+        assert round_tripped["c"]["kind"] == "counter"
+        assert round_tripped["g"]["kind"] == "gauge"
+        assert round_tripped["h"]["kind"] == "histogram"
+        assert round_tripped["h"]["samples"][0]["count"] == 1
+
+    def test_render_lists_every_series(self):
+        registry = MetricsRegistry()
+        registry.counter("c", "help").inc(3, engine="BOSS")
+        registry.counter("c").inc(4, engine="IIU")
+        text = registry.render()
+        assert "c{engine=BOSS} 3" in text
+        assert "c{engine=IIU} 4" in text

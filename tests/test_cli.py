@@ -101,6 +101,68 @@ class TestSearch:
                      "--query", "no quotes"]) == 2
 
 
+class TestTrace:
+    STAGES = ("block-fetch", "decompression", "merger", "scoring",
+              "top-k", "memory")
+
+    def test_trace_prints_stage_breakdown(self, index_file, capsys):
+        assert main(["trace", "--index", str(index_file),
+                     "--query", '"memory" OR "search"']) == 0
+        out = capsys.readouterr().out
+        for stage in self.STAGES:
+            assert stage in out, stage
+        assert "bottleneck" in out
+        assert "pipelined latency" in out
+
+    def test_trace_json_mode_parses(self, index_file, capsys):
+        import json
+
+        assert main(["trace", "--index", str(index_file),
+                     "--query", '"memory"', "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["engine"] == "BOSS"
+        assert {s["name"] for s in record["spans"]} == set(self.STAGES)
+        assert record["bottleneck"] in self.STAGES
+        assert record["latency_seconds"] > 0
+
+    def test_trace_iiu_engine(self, index_file, capsys):
+        assert main(["trace", "--index", str(index_file),
+                     "--query", '"the"', "--engine", "iiu"]) == 0
+        assert "on IIU" in capsys.readouterr().out
+
+    def test_trace_unknown_term_is_error(self, index_file):
+        assert main(["trace", "--index", str(index_file),
+                     "--query", '"zzzz"']) == 2
+
+
+class TestMetrics:
+    def test_metrics_dumps_registry(self, index_file, capsys):
+        assert main(["metrics", "--index", str(index_file),
+                     "--query", '"memory"',
+                     "--query", '"the" AND "index"']) == 0
+        out = capsys.readouterr().out
+        assert "2 queries recorded" in out
+        assert "queries.completed" in out
+        assert "scm.bytes" in out
+        assert "pool.capacity_bytes" in out
+        assert "pipeline.stage_seconds" in out
+
+    def test_metrics_json_mode_parses(self, index_file, capsys):
+        import json
+
+        assert main(["metrics", "--index", str(index_file),
+                     "--query", '"memory"', "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["queries.completed"]["kind"] == "counter"
+        latency = snapshot["query.latency_us"]
+        assert latency["kind"] == "histogram"
+        assert latency["samples"][0]["count"] == 1
+
+    def test_metrics_bad_query_is_error(self, index_file):
+        assert main(["metrics", "--index", str(index_file),
+                     "--query", "no quotes"]) == 2
+
+
 class TestDemo:
     def test_demo_prints_comparison(self, capsys):
         assert main(["demo"]) == 0

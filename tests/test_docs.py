@@ -69,7 +69,7 @@ class TestExperimentsDoc:
 class TestDocsDirectory:
     @pytest.mark.parametrize("name", [
         "architecture.md", "performance-model.md",
-        "decompressor-programs.md",
+        "decompressor-programs.md", "observability.md",
     ])
     def test_docs_exist_and_nonempty(self, name):
         path = ROOT / "docs" / name
