@@ -1,0 +1,211 @@
+#!/usr/bin/env python
+"""End-to-end wall-clock benchmark: fast path vs the pre-PR engine.
+
+Times a Zipf-skewed query batch over a synthetic ccnews-like corpus on
+
+* the **reference** engine (``fast_path=False`` — per-value reference
+  decoders, reference executors, no decoded-block cache: the pre-fast-
+  path engine exactly),
+* the **fast** engine, cold decoded cache,
+* the **fast** engine, warm decoded cache (a second pass over the same
+  batch),
+* the batched parallel driver (:func:`repro.batch.run_query_batch`),
+
+plus a per-codec decode throughput micro-benchmark
+(``decode_block`` bulk path vs the per-value ``decode`` oracle).
+
+Results are written as JSON (default: ``BENCH_pr2.json`` at the repo
+root) so future PRs have a perf trajectory to regress against:
+queries/sec, p50/p95 wall-clock per query, codec decode MB/s, and the
+fast-vs-reference speedups.
+
+Note: wall-clock here is *host simulation time*, not the paper's modeled
+device time — see ``docs/performance-model.md``. Both engines produce
+bit-identical modeled metrics (pinned by
+``tests/test_fastpath_equivalence.py``); this benchmark measures how
+fast the simulator itself runs.
+
+Usage::
+
+    python benchmarks/bench_wallclock.py             # full run
+    python benchmarks/bench_wallclock.py --smoke     # CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+from time import perf_counter
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.batch import run_query_batch  # noqa: E402
+from repro.compression import get_codec, list_codecs  # noqa: E402
+from repro.core import BossAccelerator, BossConfig  # noqa: E402
+from repro.index import BLOCK_SIZE  # noqa: E402
+from repro.workloads import make_corpus  # noqa: E402
+from repro.workloads.queries import QuerySampler  # noqa: E402
+
+_REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+_DEFAULT_OUT = os.path.join(_REPO_ROOT, "BENCH_pr2.json")
+
+
+def _pass_stats(report) -> dict:
+    return {
+        "wall_seconds": round(report.wall_seconds, 6),
+        "queries_per_second": round(report.queries_per_second, 2),
+        "p50_ms": round(report.p50_seconds * 1e3, 4),
+        "p95_ms": round(report.p95_seconds * 1e3, 4),
+    }
+
+
+def bench_end_to_end(index, queries, k: int, workers: int) -> dict:
+    """Reference vs fast (cold/warm) vs the parallel batch driver."""
+    reference = BossAccelerator(index, BossConfig(k=k), fast_path=False)
+    fast = BossAccelerator(index, BossConfig(k=k))
+
+    ref_report = run_query_batch(reference, queries, k=k, workers=1).report
+    cold_report = run_query_batch(fast, queries, k=k, workers=1).report
+    warm_report = run_query_batch(fast, queries, k=k, workers=1).report
+    batch_report = run_query_batch(fast, queries, k=k,
+                                   workers=workers).report
+
+    ref_s = ref_report.wall_seconds
+    results = {
+        "reference": _pass_stats(ref_report),
+        "fast_cold": dict(_pass_stats(cold_report),
+                          speedup_vs_reference=round(
+                              ref_s / cold_report.wall_seconds, 2)),
+        "fast_warm": dict(_pass_stats(warm_report),
+                          speedup_vs_reference=round(
+                              ref_s / warm_report.wall_seconds, 2)),
+        "batch_driver": dict(_pass_stats(batch_report),
+                             workers=batch_report.workers),
+    }
+    cache = fast.decoded_cache
+    results["decoded_cache"] = {
+        "hits": cache.hits,
+        "misses": cache.misses,
+        "hit_rate": round(cache.hit_rate, 4),
+    }
+    return results
+
+
+def bench_codec_decode(repeats: int) -> dict:
+    """Per-codec decode MB/s: bulk ``decode_block`` vs per-value oracle."""
+    rng = random.Random(0xB055)
+    values = [rng.randrange(1, 1 << 12) for _ in range(BLOCK_SIZE)]
+    out = {}
+    for scheme in sorted(list_codecs()):
+        codec = get_codec(scheme)
+        encoded = codec.encode(values)
+        count = len(values)
+        mb = len(encoded) * repeats / 1e6
+
+        start = perf_counter()
+        for _ in range(repeats):
+            codec.decode(encoded, count)
+        reference_s = perf_counter() - start
+
+        start = perf_counter()
+        for _ in range(repeats):
+            codec.decode_block(encoded, count)
+        fast_s = perf_counter() - start
+
+        out[scheme] = {
+            "encoded_bytes_per_block": len(encoded),
+            "reference_mb_per_s": round(mb / reference_s, 2),
+            "fast_mb_per_s": round(mb / fast_s, 2),
+            "speedup": round(reference_s / fast_s, 2),
+        }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="synthetic corpus scale factor")
+    parser.add_argument("--queries", type=int, default=200,
+                        help="queries in the Zipf batch")
+    parser.add_argument("--unique", type=int, default=30,
+                        help="unique queries in the Zipf log")
+    parser.add_argument("--terms", type=int, default=60,
+                        help="vocabulary slice (by df) queries draw from")
+    parser.add_argument("-k", type=int, default=10)
+    parser.add_argument("--workers", type=int, default=4,
+                        help="workers for the batch-driver pass")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--codec-repeats", type=int, default=2000,
+                        help="blocks decoded per codec in the micro-bench")
+    parser.add_argument("--out", default=_DEFAULT_OUT,
+                        help="JSON output path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (small corpus, few queries)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.scale = min(args.scale, 0.1)
+        args.queries = min(args.queries, 32)
+        args.unique = min(args.unique, 8)
+        args.codec_repeats = min(args.codec_repeats, 200)
+
+    print(f"building ccnews-like corpus (scale={args.scale}) ...")
+    corpus = make_corpus("ccnews-like", scale=args.scale, seed=args.seed)
+    index = corpus.index
+    sampler = QuerySampler(corpus.terms_by_df()[:args.terms],
+                           seed=args.seed - 4)
+    log = sampler.sample_zipf_log(num_queries=args.queries,
+                                  unique_queries=args.unique)
+    queries = [q.expression for q in log]
+
+    print(f"running {len(queries)}-query batch "
+          f"(reference / fast cold / fast warm / {args.workers}-worker) ...")
+    end_to_end = bench_end_to_end(index, queries, args.k, args.workers)
+    print("running codec decode micro-benchmark ...")
+    codec_decode = bench_codec_decode(args.codec_repeats)
+
+    payload = {
+        "benchmark": "bench_wallclock",
+        "config": {
+            "preset": "ccnews-like",
+            "scale": args.scale,
+            "num_queries": args.queries,
+            "unique_queries": args.unique,
+            "k": args.k,
+            "workers": args.workers,
+            "seed": args.seed,
+            "smoke": args.smoke,
+        },
+        "end_to_end": end_to_end,
+        "codec_decode": codec_decode,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    width = 14
+    print(f"\n{'pass':<{width}} {'qps':>9} {'p50 ms':>9} {'p95 ms':>9} "
+          f"{'speedup':>8}")
+    for name in ("reference", "fast_cold", "fast_warm", "batch_driver"):
+        row = end_to_end[name]
+        speedup = row.get("speedup_vs_reference", "")
+        print(f"{name:<{width}} {row['queries_per_second']:>9} "
+              f"{row['p50_ms']:>9} {row['p95_ms']:>9} {speedup:>8}")
+    cache = end_to_end["decoded_cache"]
+    print(f"decoded cache: {cache['hits']} hits / {cache['misses']} misses "
+          f"(hit rate {cache['hit_rate']:.2%})")
+    print(f"\n{'codec':<8} {'ref MB/s':>10} {'fast MB/s':>10} {'speedup':>8}")
+    for scheme, row in codec_decode.items():
+        print(f"{scheme:<8} {row['reference_mb_per_s']:>10} "
+              f"{row['fast_mb_per_s']:>10} {row['speedup']:>8}")
+    print(f"\nwrote {os.path.relpath(args.out, os.getcwd())}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -133,6 +133,33 @@ class BossSession:
             )
         return self._accelerator.search(node, k=k)
 
+    def search_batch(self, q_expressions: List[str],
+                     k: Optional[int] = None,
+                     workers: Optional[int] = None):
+        """Offload a batch of queries through the worker-pool driver.
+
+        Each expression receives the same argument checks as
+        :meth:`search` (term limit, registered decompression programs)
+        *before* any query executes — a malformed batch fails fast.
+        Returns a :class:`repro.batch.BatchResult` with per-query
+        :class:`SearchResult` objects in input order plus wall-clock
+        throughput statistics.
+        """
+        self._require_init()
+        from repro.batch import run_query_batch
+
+        for q_expression in q_expressions:
+            node = parse_query(q_expression)
+            terms = node.terms()
+            if len(terms) <= MAX_QUERY_TERMS:
+                for comp_type in self.comp_types(terms):
+                    if comp_type not in self._programs:
+                        raise ConfigurationError(
+                            f"no decompression program registered for "
+                            f"{comp_type!r}"
+                        )
+        return run_query_batch(self, q_expressions, k=k, workers=workers)
+
     def _search_oversized(self, node, k: Optional[int],
                           result_size: Optional[int]) -> SearchResult:
         """Host-split execution for queries beyond 16 terms.

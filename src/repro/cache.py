@@ -15,10 +15,19 @@ This module simulates that tier from the engines' fetch traces:
   :class:`CacheReport` with hit rates and the SCM bytes absorbed;
 * :func:`cached_memory_seconds` — the memory-side service time with the
   cache in place (hits at DRAM speed, misses at SCM speed).
+
+It also hosts :class:`DecodedBlockCache`, the host-side *decoded*-block
+cache used by the fast query path: an LRU over already-decompressed
+``(docID array, tf array)`` pairs. Unlike the simulated DRAM tier above,
+this cache is purely a wall-clock optimization — the performance model
+still charges the full modeled SCM traffic and decompression work for
+every block touch, so modeled metrics are bit-identical with the cache
+on or off.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Tuple
@@ -82,6 +91,81 @@ class LRUBlockCache:
         self._entries[key] = size
         self._used += size
         return False
+
+
+#: Default capacity (in blocks) of the fast path's decoded-block cache.
+#: At 128 postings per block this retains about one million decoded
+#: postings — small against index size, large against a query batch's
+#: working set of hot terms.
+DEFAULT_DECODED_CACHE_BLOCKS = 8192
+
+
+class DecodedBlockCache:
+    """LRU cache of decompressed blocks, keyed ``(term, block, scheme)``.
+
+    Holds the fast path's decoded ``(docID array, tf array)`` pairs so
+    repeated touches of a hot block skip decompression entirely.
+    Capacity is counted in *blocks* (each is at most 128 postings), not
+    bytes, since decoded blocks are near-uniform in size.
+
+    Thread-safe: the batched query driver shares one instance across
+    worker threads, so lookups and insertions take an internal lock.
+    Cached arrays are treated as immutable by all readers.
+
+    Functional-only by design — see the module docstring: modeled
+    traffic/latency accounting happens in the cursor regardless of hits.
+    """
+
+    def __init__(self, capacity_blocks: int = DEFAULT_DECODED_CACHE_BLOCKS,
+                 observer=None) -> None:
+        if capacity_blocks <= 0:
+            raise ConfigurationError(
+                "decoded cache capacity must be positive"
+            )
+        self.capacity_blocks = capacity_blocks
+        self._entries: "OrderedDict[Tuple[str, int, str], tuple]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        #: Observability hook; only consulted when ``observer.enabled``.
+        self._observer = (
+            observer if observer is not None and observer.enabled else None
+        )
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, term: str, block_index: int, scheme: str):
+        """Look up a decoded block; returns the pair or ``None``."""
+        key = (term, block_index, scheme)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+        if self._observer is not None:
+            self._observer.on_decoded_block(entry is not None)
+        return entry
+
+    def put(self, term: str, block_index: int, scheme: str,
+            decoded) -> None:
+        """Insert a freshly decoded ``(doc_ids, tfs)`` pair."""
+        key = (term, block_index, scheme)
+        with self._lock:
+            self._entries[key] = decoded
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity_blocks:
+                self._entries.popitem(last=False)
 
 
 @dataclass(frozen=True)

@@ -7,6 +7,7 @@ Installed as the ``repro-boss`` console script (``repro`` is an alias)::
     repro-boss search  --index corpus.boss --query '"memory" AND "search"'
     repro-boss trace   --index corpus.boss --query '"memory"'
     repro-boss metrics --index corpus.boss --query '"memory"' --query '"a"'
+    repro-boss bench   --queries 128 --repeat 2
     repro-boss demo
 
 ``build`` reads one whitespace-tokenized document per line. ``search``
@@ -15,8 +16,11 @@ model's traffic/latency estimates. ``trace`` profiles one query through
 the observability layer — a per-stage time/byte breakdown with the
 bottleneck stage flagged (``--json`` emits the full trace schema).
 ``metrics`` executes a query list under a recording observer and dumps
-the metrics registry. ``demo`` builds a small synthetic corpus and
-prints the BOSS/IIU/Lucene comparison.
+the metrics registry. ``bench`` runs a Zipf-skewed query batch through
+the worker-pool driver (:mod:`repro.batch`) and reports wall-clock
+throughput per pass (later passes hit the warm decoded-block cache).
+``demo`` builds a small synthetic corpus and prints the
+BOSS/IIU/Lucene comparison.
 """
 
 from __future__ import annotations
@@ -87,6 +91,32 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("-k", type=int, default=10)
     metrics.add_argument("--json", action="store_true",
                          help="emit the registry snapshot as JSON")
+
+    bench = sub.add_parser(
+        "bench",
+        help="wall-clock throughput of a query batch (worker pool)")
+    bench.add_argument("--index", default=None,
+                       help="index file (default: synthetic corpus)")
+    bench.add_argument("--preset", default="ccnews-like",
+                       help="synthetic corpus preset when no --index")
+    bench.add_argument("--scale", type=float, default=0.2,
+                       help="synthetic corpus scale factor")
+    bench.add_argument("--queries", type=int, default=64,
+                       help="queries in the batch (Zipf-skewed log)")
+    bench.add_argument("--unique", type=int, default=16,
+                       help="distinct queries behind the Zipf log")
+    bench.add_argument("--workers", type=int, default=None,
+                       help="worker threads (default: auto)")
+    bench.add_argument("-k", type=int, default=10)
+    bench.add_argument("--repeat", type=int, default=2,
+                       help="passes over the batch; passes after the "
+                            "first run with a warm decoded-block cache")
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--no-fast-path", action="store_true",
+                       help="use the per-value reference decoders "
+                            "(pre-fast-path engine) for comparison")
+    bench.add_argument("--json", action="store_true",
+                       help="emit the reports as JSON")
 
     sub.add_parser("demo", help="synthetic-corpus engine comparison")
     return parser
@@ -224,6 +254,68 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.batch import run_query_batch
+    from repro.workloads import QuerySampler
+
+    if args.index:
+        index = load_index(args.index)
+        terms_by_df = sorted(
+            index.terms,
+            key=lambda t: index.posting_list(t).document_frequency,
+            reverse=True,
+        )
+    else:
+        from repro.workloads import make_corpus
+
+        corpus = make_corpus(args.preset, scale=args.scale)
+        index = corpus.index
+        terms_by_df = corpus.terms_by_df()
+    sampler = QuerySampler(terms_by_df, seed=args.seed)
+    unique = max(1, min(args.unique, args.queries))
+    queries = [
+        spec.expression
+        for spec in sampler.sample_zipf_log(args.queries,
+                                            unique_queries=unique)
+    ]
+    engine = BossAccelerator(index, BossConfig(k=args.k),
+                             fast_path=not args.no_fast_path)
+    reports = []
+    for _ in range(max(1, args.repeat)):
+        batch = run_query_batch(engine, queries, k=args.k,
+                                workers=args.workers)
+        reports.append(batch.report)
+    cache = engine.decoded_cache
+    if args.json:
+        payload = {
+            "fast_path": engine.fast_path,
+            "passes": [report.to_dict() for report in reports],
+        }
+        if cache is not None:
+            payload["decoded_cache"] = {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_rate": cache.hit_rate,
+            }
+        print(json.dumps(payload, indent=2))
+        return 0
+    path = "fast" if engine.fast_path else "reference"
+    print(f"{len(queries)} queries ({unique} unique), {path} decode path, "
+          f"workers={reports[0].workers}")
+    print(f"{'pass':<6}{'qps':>10}{'p50 (ms)':>10}{'p95 (ms)':>10}")
+    for number, report in enumerate(reports, start=1):
+        label = "cold" if number == 1 else "warm"
+        print(f"{label:<6}{report.queries_per_second:>10.1f}"
+              f"{report.p50_seconds * 1e3:>10.2f}"
+              f"{report.p95_seconds * 1e3:>10.2f}")
+    if cache is not None:
+        print(f"decoded-block cache: {cache.hits} hits / "
+              f"{cache.misses} misses ({cache.hit_rate:.1%})")
+    return 0
+
+
 def _cmd_demo(_args) -> int:
     from repro.workloads import QuerySampler, make_corpus
 
@@ -264,6 +356,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
+        "bench": _cmd_bench,
         "demo": _cmd_demo,
     }
     try:

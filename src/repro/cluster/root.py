@@ -76,19 +76,47 @@ class SearchCluster:
     def num_leaves(self) -> int:
         return len(self._engines)
 
+    @property
+    def engines(self) -> List:
+        """The per-shard leaf engines, in shard order."""
+        return self._engines
+
+    def plan(self, query: Union[str, QueryNode]) -> "tuple":
+        """Root-side query dissection: per-shard pruned sub-queries.
+
+        Returns ``(node, per_shard)`` where ``per_shard[i]`` is the
+        query shard ``i`` executes, or None when the shard holds none of
+        the query's mandatory terms. Shared by :meth:`search` and the
+        batched driver (:mod:`repro.batch`), which dispatches the
+        per-shard executions to a worker pool itself.
+        """
+        node = parse_query(query) if isinstance(query, str) else flatten(query)
+        return node, [
+            _prune_for_shard(node, engine.index) for engine in self._engines
+        ]
+
     def search(self, query: Union[str, QueryNode],
                k: int = DEFAULT_K) -> ClusterSearchResult:
         """Fan out, execute per shard, merge score-ordered top-k."""
-        node = parse_query(query) if isinstance(query, str) else flatten(query)
+        node, per_shard = self.plan(query)
 
         leaf_results: List[Optional[SearchResult]] = []
-        for engine in self._engines:
-            pruned = _prune_for_shard(node, engine.index)
+        for engine, pruned in zip(self._engines, per_shard):
             if pruned is None:
                 leaf_results.append(None)
                 continue
             leaf_results.append(engine.search(pruned, k=k))
+        return self.merge(node, leaf_results, k)
 
+    def merge(self, node: QueryNode,
+              leaf_results: List[Optional[SearchResult]],
+              k: int = DEFAULT_K) -> ClusterSearchResult:
+        """Root-side merge of per-shard results (deterministic).
+
+        ``leaf_results`` must be in shard order; merge order is then
+        independent of the execution order of the shards, so the batch
+        driver's parallel runs produce bit-identical merged results.
+        """
         merged = ClusterSearchResult(query=node, hits=[],
                                      leaf_results=leaf_results)
         candidates: List[ScoredDocument] = []

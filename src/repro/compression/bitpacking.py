@@ -11,6 +11,7 @@ BP surprisingly strong on ultra-dense d-gap streams.
 
 from __future__ import annotations
 
+from array import array
 from typing import List, Sequence
 
 from repro.compression.base import DEFAULT_REGISTRY, Codec
@@ -43,3 +44,28 @@ class BitPackingCodec(Codec):
             return [0] * count
         reader = BitReader(data, offset=1)
         return reader.read_many(width, count)
+
+    def decode_block(self, data: bytes, count: int) -> array:
+        if not data:
+            raise CompressionError("BP: empty payload")
+        width = data[0]
+        if width > self.max_value_bits:
+            raise CompressionError(f"BP: invalid bit width {width}")
+        if width == 0 or count == 0:
+            # array('I', bytes) deserializes raw little-endian words:
+            # 4*count zero bytes is a zero-filled array of length count.
+            return array("I", bytes(4 * count))
+        frame_bytes = (count * width + 7) // 8
+        if 1 + frame_bytes > len(data):
+            raise CompressionError(
+                f"BP: truncated input: {len(data) - 1} payload bytes "
+                f"cannot hold {count} {width}-bit fields"
+            )
+        # Whole-block extraction: the LSB-first packed frame, read as one
+        # big little-endian integer, exposes field i at bit i*width.
+        frame = int.from_bytes(data[1:1 + frame_bytes], "little")
+        mask = (1 << width) - 1
+        return array(
+            "I", [(frame >> shift) & mask
+                  for shift in range(0, count * width, width)]
+        )

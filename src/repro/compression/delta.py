@@ -13,6 +13,8 @@ The block layer stores a block's first docID in its metadata (the paper's
 
 from __future__ import annotations
 
+from array import array
+from itertools import accumulate
 from typing import List, Sequence
 
 from repro.errors import CompressionError
@@ -52,3 +54,25 @@ def doc_ids_from_deltas(deltas: Sequence[int], base: int = -1) -> List[int]:
         prev = prev + delta + 1
         doc_ids.append(prev)
     return doc_ids
+
+
+def doc_ids_from_deltas_array(deltas: Sequence[int],
+                              base: int = -1) -> array:
+    """Bulk inverse transform returning an ``array('I')``.
+
+    ``doc_id[i] = base + (i + 1) + prefix_sum(deltas)[i]``, computed with
+    a C-speed :func:`itertools.accumulate` instead of a per-value Python
+    loop. The input is expected to be non-negative (the bulk codec paths
+    hand over unsigned ``array('I')`` values, which cannot be negative);
+    a docID overflowing 32 bits raises :class:`CompressionError`.
+    """
+    start = base + 1
+    try:
+        return array(
+            "I",
+            [start + i + s for i, s in enumerate(accumulate(deltas))],
+        )
+    except OverflowError:
+        raise CompressionError(
+            f"docID beyond 32 bits accumulating d-gaps above base {base}"
+        ) from None

@@ -16,10 +16,21 @@ where to stop.
 
 from __future__ import annotations
 
+from array import array
 from typing import List, Sequence
 
 from repro.compression.base import DEFAULT_REGISTRY, Codec
 from repro.errors import CompressionError
+
+#: Per control byte: the four payload lengths it announces, plus their
+#: sum — the bulk decoder's branch-free dispatch table.
+_GROUP_SHAPES = tuple(
+    (
+        tuple(((control >> (2 * slot)) & 0x3) + 1 for slot in range(4)),
+        sum(((control >> (2 * slot)) & 0x3) + 1 for slot in range(4)),
+    )
+    for control in range(256)
+)
 
 
 def _byte_length(value: int) -> int:
@@ -59,7 +70,8 @@ class GroupVarintCodec(Codec):
         while len(values) < count:
             if position >= len(data):
                 raise CompressionError(
-                    f"GVB: stream ended after {len(values)} of {count} values"
+                    f"GVB: truncated input: stream ended after "
+                    f"{len(values)} of {count} values"
                 )
             control = data[position]
             position += 1
@@ -68,9 +80,49 @@ class GroupVarintCodec(Codec):
                     break
                 length = ((control >> (2 * slot)) & 0x3) + 1
                 if position + length > len(data):
-                    raise CompressionError("GVB: truncated payload")
+                    raise CompressionError(
+                        f"GVB: truncated input: payload ends inside value "
+                        f"{len(values)} of {count}"
+                    )
                 values.append(
                     int.from_bytes(data[position:position + length], "little")
                 )
                 position += length
         return values
+
+    def decode_block(self, data: bytes, count: int) -> array:
+        out = array("I")
+        append = out.append
+        from_bytes = int.from_bytes
+        size = len(data)
+        position = 0
+        produced = 0
+        while produced < count:
+            if position >= size:
+                raise CompressionError(
+                    f"GVB: truncated input: stream ended after "
+                    f"{produced} of {count} values"
+                )
+            lengths, total = _GROUP_SHAPES[data[position]]
+            position += 1
+            if count - produced >= 4 and position + total <= size:
+                # Full interior group: no per-slot bounds checks needed.
+                for length in lengths:
+                    end = position + length
+                    append(from_bytes(data[position:end], "little"))
+                    position = end
+                produced += 4
+            else:
+                for length in lengths:
+                    if produced == count:
+                        break
+                    if position + length > size:
+                        raise CompressionError(
+                            f"GVB: truncated input: payload ends inside "
+                            f"value {produced} of {count}"
+                        )
+                    end = position + length
+                    append(from_bytes(data[position:end], "little"))
+                    position = end
+                    produced += 1
+        return out

@@ -36,6 +36,7 @@ offset field
 
 from __future__ import annotations
 
+from array import array
 from typing import List, Sequence, Tuple
 
 from repro.compression.base import DEFAULT_REGISTRY, Codec
@@ -115,6 +116,52 @@ def _decode_stream(data: bytes, count: int) -> List[int]:
     return values
 
 
+def _decode_segment_fast(data: bytes, offset: int,
+                         count: int) -> Tuple[List[int], int]:
+    """Bulk variant of :func:`_decode_segment`: whole-frame extraction.
+
+    The LSB-first packed frame is read as one big little-endian integer
+    and sliced by shifting, instead of walking a :class:`BitReader` one
+    field at a time. Exceptions are patched identically to the
+    reference decoder.
+    """
+    if offset + 2 > len(data):
+        raise CompressionError("PFD: truncated segment header")
+    width = data[offset]
+    n_exc = data[offset + 1]
+    frame_bytes = (count * width + 7) // 8
+    frame_end = offset + 2 + frame_bytes
+    if frame_end > len(data):
+        raise CompressionError("PFD: truncated input: frame cut short")
+    if width:
+        frame = int.from_bytes(data[offset + 2:frame_end], "little")
+        mask = (1 << width) - 1
+        values = [(frame >> shift) & mask
+                  for shift in range(0, count * width, width)]
+    else:
+        values = [0] * count
+    pos = frame_end
+    for _ in range(n_exc):
+        if pos >= len(data):
+            raise CompressionError("PFD: truncated exception section")
+        position = data[pos]
+        pos += 1
+        end = pos
+        while end < len(data) and not (data[end] & 0x80):
+            end += 1
+        if end >= len(data):
+            raise CompressionError("PFD: unterminated exception value")
+        end += 1
+        high = _VB.decode(data[pos:end], 1)[0]
+        if position >= count:
+            raise CompressionError(
+                f"PFD: exception position {position} out of range"
+            )
+        values[position] |= high << width
+        pos = end
+    return values, pos
+
+
 class _PatchedFrameCodec(Codec):
     """Shared encode/decode driver; subclasses choose the frame width."""
 
@@ -132,6 +179,20 @@ class _PatchedFrameCodec(Codec):
 
     def decode(self, data: bytes, count: int) -> List[int]:
         return _decode_stream(data, count)
+
+    def decode_block(self, data: bytes, count: int) -> array:
+        values: List[int] = []
+        offset = 0
+        while len(values) < count:
+            seg_count = min(SEGMENT_SIZE, count - len(values))
+            seg_values, offset = _decode_segment_fast(data, offset, seg_count)
+            values.extend(seg_values)
+        try:
+            return array("I", values)
+        except OverflowError:
+            raise CompressionError(
+                f"{self.name}: decoded value exceeds 32 bits"
+            ) from None
 
     def _frame_width(self, segment: Sequence[int]) -> int:
         raise NotImplementedError

@@ -20,6 +20,7 @@ stop — mirroring the element-count field of the paper's block metadata.
 from __future__ import annotations
 
 import struct
+from array import array
 from typing import List, Sequence, Tuple
 
 from repro.compression.base import DEFAULT_REGISTRY, Codec
@@ -48,6 +49,20 @@ S16_MODES: Tuple[Tuple[int, ...], ...] = (
 )
 
 assert all(sum(mode) == 28 for mode in S16_MODES)
+
+
+def _layout(mode: Tuple[int, ...]) -> Tuple[Tuple[int, int], ...]:
+    """Per-field ``(shift, mask)`` pairs for one mode's word layout."""
+    pairs = []
+    shift = 4
+    for width in mode:
+        pairs.append((shift, (1 << width) - 1))
+        shift += width
+    return tuple(pairs)
+
+
+#: Bulk-decode dispatch table: selector -> ((shift, mask), ...).
+_S16_LAYOUTS = tuple(_layout(mode) for mode in S16_MODES)
 
 
 @DEFAULT_REGISTRY.register
@@ -91,6 +106,25 @@ class Simple16Codec(Codec):
                 f"S16: stream ended after {len(values)} of {count} values"
             )
         return values
+
+    def decode_block(self, data: bytes, count: int) -> array:
+        if len(data) % 4:
+            raise CompressionError("S16: payload is not word aligned")
+        out: List[int] = []
+        extend = out.extend
+        for (word,) in struct.iter_unpack("<I", data):
+            extend([
+                (word >> shift) & mask
+                for shift, mask in _S16_LAYOUTS[word & 0xF]
+            ])
+            if len(out) >= count:
+                break
+        if len(out) < count:
+            raise CompressionError(
+                f"S16: stream ended after {len(out)} of {count} values"
+            )
+        del out[count:]  # drop the final word's padding fields
+        return array("I", out)
 
     @staticmethod
     def _choose_mode(values: Sequence[int], position: int) -> Tuple[int, int]:

@@ -33,6 +33,7 @@ Mode table (selector: field width x count):
 from __future__ import annotations
 
 import struct
+from array import array
 from typing import List, Sequence, Tuple
 
 from repro.compression.base import DEFAULT_REGISTRY, Codec
@@ -57,6 +58,18 @@ S8B_MODES: Tuple[Tuple[int, int], ...] = (
     (20, 3),
     (30, 2),
     (60, 1),
+)
+
+#: Bulk-decode dispatch tables, one entry per selector: the field shifts
+#: of a whole word (None for the zero-run modes), the field mask, and a
+#: pre-built zero run for the payload-free modes.
+_S8B_SHIFTS = tuple(
+    tuple(4 + i * width for i in range(capacity)) if width else None
+    for width, capacity in S8B_MODES
+)
+_S8B_MASKS = tuple((1 << width) - 1 for width, _ in S8B_MODES)
+_S8B_ZEROS = tuple(
+    [0] * capacity if width == 0 else None for width, capacity in S8B_MODES
 )
 
 
@@ -110,6 +123,33 @@ class Simple8bCodec(Codec):
                 f"S8b: stream ended after {len(values)} of {count} values"
             )
         return values
+
+    def decode_block(self, data: bytes, count: int) -> array:
+        if len(data) % 8:
+            raise CompressionError("S8b: payload is not word aligned")
+        out: List[int] = []
+        extend = out.extend
+        for (word,) in struct.iter_unpack("<Q", data):
+            selector = word & 0xF
+            shifts = _S8B_SHIFTS[selector]
+            if shifts is None:
+                extend(_S8B_ZEROS[selector])
+            else:
+                mask = _S8B_MASKS[selector]
+                extend([(word >> shift) & mask for shift in shifts])
+            if len(out) >= count:
+                break
+        if len(out) < count:
+            raise CompressionError(
+                f"S8b: stream ended after {len(out)} of {count} values"
+            )
+        del out[count:]  # drop the final word's padding fields
+        try:
+            return array("I", out)
+        except OverflowError:
+            raise CompressionError(
+                "S8b: decoded value exceeds 32 bits"
+            ) from None
 
     @staticmethod
     def _choose_mode(values: Sequence[int], position: int) -> Tuple[int, int]:

@@ -32,6 +32,10 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.core.cursor import SKIP_ET, SKIP_OVERLAP, ListCursor
+from repro.core.fastexec import (
+    run_grouped_intersection_fast,
+    run_union_fast,
+)
 from repro.core.groups import GroupCursor
 from repro.core.intersection import run_grouped_intersection
 from repro.core.query import (
@@ -46,6 +50,7 @@ from repro.core.query import (
 from repro.core.result import ScoredDocument, SearchResult
 from repro.core.topk import DEFAULT_K, TopKQueue
 from repro.core.union import run_union
+from repro.cache import DecodedBlockCache
 from repro.errors import QueryError
 from repro.index.index import InvertedIndex
 from repro.observability.observer import NULL_OBSERVER, Observer
@@ -96,13 +101,36 @@ class BossAccelerator:
 
     def __init__(self, index: InvertedIndex,
                  config: BossConfig = BossConfig(),
-                 observer: Observer = NULL_OBSERVER) -> None:
+                 observer: Observer = NULL_OBSERVER,
+                 fast_path: bool = True,
+                 decoded_cache=None) -> None:
         self._index = index
         self._config = config
         self._observer = observer
         #: When set (a list), every block payload fetch is appended as
         #: (term, block_index, bytes) — input to the cache simulator.
         self.fetch_log = None
+        #: Bulk array decode vs the per-value reference decode path.
+        #: ``fast_path=False`` reproduces the pre-fast-path engine
+        #: exactly (reference decoders, no decoded-block cache) — the
+        #: baseline side of the wall-clock benchmark and of the
+        #: modeled-metrics equivalence tests.
+        self._fast_path = fast_path
+        # Host-side decoded-block cache: None -> default-capacity cache
+        # when the fast path is on; an int -> that capacity in blocks
+        # (0 disables); a DecodedBlockCache -> shared instance (the
+        # cluster hands one cache to all its leaf engines).
+        if decoded_cache is None:
+            self._decoded_cache = (
+                DecodedBlockCache(observer=observer) if fast_path else None
+            )
+        elif isinstance(decoded_cache, int):
+            self._decoded_cache = (
+                DecodedBlockCache(decoded_cache, observer=observer)
+                if decoded_cache else None
+            )
+        else:
+            self._decoded_cache = decoded_cache
 
     @property
     def observer(self) -> Observer:
@@ -115,6 +143,15 @@ class BossAccelerator:
     @property
     def config(self) -> BossConfig:
         return self._config
+
+    @property
+    def fast_path(self) -> bool:
+        return self._fast_path
+
+    @property
+    def decoded_cache(self):
+        """The engine's :class:`DecodedBlockCache` (or None)."""
+        return self._decoded_cache
 
     def search(self, query: Union[str, QueryNode],
                k: int = None) -> SearchResult:
@@ -192,7 +229,8 @@ class BossAccelerator:
         cursors = [
             self._cursor(t, work, traffic, SKIP_ET) for t in terms
         ]
-        run_union(
+        runner = run_union_fast if self._fast_path else run_union
+        runner(
             cursors,
             self._index.scorer,
             topk,
@@ -213,7 +251,7 @@ class BossAccelerator:
                 for t in child.terms()
             ]
             groups.append(GroupCursor(members, work))
-        matches = run_grouped_intersection(groups, work)
+        matches = self._intersect(groups, work)
         self._score_matches(matches, topk, work)
 
     def _execute_general(self, node: QueryNode, topk: TopKQueue,
@@ -244,7 +282,7 @@ class BossAccelerator:
                     else [branch]
                 )
             ]
-            for doc, tfs in run_grouped_intersection(groups, work):
+            for doc, tfs in self._intersect(groups, work):
                 merged.setdefault(doc, {}).update(tfs)
         matches = sorted(merged.items())
 
@@ -284,6 +322,11 @@ class BossAccelerator:
     # Helpers
     # ------------------------------------------------------------------
 
+    def _intersect(self, groups: List[GroupCursor], work: WorkCounters):
+        if self._fast_path:
+            return run_grouped_intersection_fast(groups, work)
+        return run_grouped_intersection(groups, work)
+
     def _cursor(self, term: str, work: WorkCounters,
                 traffic: TrafficCounter, skip_class: str) -> ListCursor:
         return ListCursor(
@@ -294,6 +337,8 @@ class BossAccelerator:
             skip_class=skip_class,
             fetch_log=self.fetch_log,
             observer=self._observer,
+            decoded_cache=self._decoded_cache,
+            fast_path=self._fast_path,
         )
 
     def _check_terms(self, node: QueryNode) -> None:

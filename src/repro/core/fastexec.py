@@ -1,0 +1,338 @@
+"""Fast-path executors: the reference algorithms, engineered for speed.
+
+:func:`run_union_fast` and :func:`run_grouped_intersection_fast` are
+operation-for-operation replicas of :func:`repro.core.union.run_union`
+and :func:`repro.core.intersection.run_grouped_intersection`. They
+perform the *same* abstract algorithm — the same cursor movements in the
+same order, the same counter increments, the same floating-point
+summation order — but keep the hot per-iteration state (each cursor's
+current docID, its list-max score, the top-k cutoff) in loop-local
+variables instead of re-deriving it through method and property calls
+on every iteration.
+
+Why this is safe: all modeled side effects live inside
+:class:`~repro.core.cursor.ListCursor`'s *movement* operations
+(``advance_to``, ``step``, ``current_tf`` — block fetches, skips,
+metadata charges, observer events), and those are still invoked exactly
+as the reference executors invoke them. The polling operations the
+replicas elide (``exhausted``, repeated ``current_doc``) are pure or
+idempotent: a docID cannot change without a movement, and metadata
+charging is high-water-mark based, so reading a cached docID is
+indistinguishable from re-asking the cursor. The modeled-metrics
+equivalence suite (``tests/test_fastpath_equivalence.py``) pins the two
+implementations bit-identical — rankings, work counters, per-bucket
+traffic, and full traces.
+
+The engine selects these executors only when its fast path is enabled;
+``fast_path=False`` runs the reference executors unchanged.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from operator import itemgetter
+from typing import List, Optional, Sequence
+
+from repro.core.groups import GroupCursor
+from repro.core.topk import TopKQueue
+from repro.core.union import ET_EPSILON
+from repro.errors import SimulationError
+from repro.index.bm25 import BM25Scorer
+from repro.sim.metrics import WorkCounters
+
+#: Sort key over alive entries ``[doc, -max_score, ...]`` — the same
+#: ``(doc, -list_max_score)`` ordering as ``union._sort_key``, extracted
+#: at C speed.
+_ENTRY_KEY = itemgetter(0, 1)
+
+
+def _step_slow(cursor) -> Optional[int]:
+    """Block-transition half of a step: delegate to the cursor itself.
+
+    Used when the next posting is *not* in the already-decoded block
+    (boundary crossing or an undecoded block), so the cursor's own
+    ``step`` performs the fetch/skip accounting.
+    """
+    cursor.step()
+    ids = cursor._decoded_doc_ids
+    if ids is not None:
+        return ids[cursor._position]
+    return cursor.current_doc()
+
+
+def _step_inline(cursor) -> Optional[int]:
+    """``cursor.step()`` + return the new docID (None when exhausted).
+
+    The common case — the next posting lives in the already-decoded
+    block — is a single index bump; everything else falls through to
+    :func:`_step_slow`.
+    """
+    ids = cursor._decoded_doc_ids
+    position = cursor._position + 1
+    if ids is not None and position < len(ids):
+        cursor._position = position
+        return ids[position]
+    return _step_slow(cursor)
+
+
+def _tf_inline(cursor) -> int:
+    """``cursor.current_tf()`` without the method call when decoded."""
+    tfs = cursor._decoded_tfs
+    if tfs is not None:
+        return tfs[cursor._position]
+    return cursor.current_tf()
+
+
+def run_union_fast(cursors, scorer: BM25Scorer, topk: TopKQueue,
+                   work: WorkCounters, et_block: bool = True,
+                   et_wand: bool = True, interval_blocks: int = 1) -> None:
+    """Fast replica of :func:`repro.core.union.run_union`.
+
+    Alive cursors are tracked as mutable entries
+    ``[doc, -max_score, max_score, idf, cursor, block_lasts,
+    block_max_scores]`` whose docID slot is refreshed after every
+    movement, so sorting, pivot selection, tie absorption and the
+    block-level ET peek read plain ints/floats instead of calling back
+    into the cursor. Work counters accumulate in locals and flush on
+    exit (nothing observes them mid-query).
+    """
+    alive: List[list] = []
+    for cursor in cursors:
+        if not cursor.exhausted:
+            max_score = cursor.list_max_score
+            blocks = cursor.posting_list.blocks
+            alive.append([cursor.current_doc(), -max_score, max_score,
+                          cursor.idf, cursor, cursor._lasts,
+                          [b.metadata.max_term_score for b in blocks]])
+
+    # BM25 term-score arithmetic, inlined with the exact operation order
+    # of ``BM25Scorer.term_score``:
+    #   idf * (tf * (k1 + 1.0)) / (tf + normalizer)
+    normalizers = scorer._normalizers
+    k1_plus_1 = scorer.params.k1 + 1.0
+    offer = topk.offer
+    # ``TopKQueue.cutoff`` inlined: 0.0 until the queue is full, else
+    # the lowest resident score (entries are sorted ascending).
+    topk_entries = topk._entries
+    topk_k = topk.k
+    cutoff = topk_entries[0][0] if len(topk_entries) >= topk_k else 0.0
+    merge_ops = docs_evaluated = docs_matched = topk_inserts = 0
+    try:
+        while alive:
+            # (1) Sorter: order by (sID, -list max score), stable.
+            alive.sort(key=_ENTRY_KEY)
+            merge_ops += 1
+
+            # (2)+(3) Score loader + pivot selector (WAND).
+            if et_wand:
+                pivot_index = None
+                upper_bound = 0.0
+                for index, entry in enumerate(alive):
+                    upper_bound += entry[2]
+                    if upper_bound + ET_EPSILON > cutoff:
+                        pivot_index = index
+                        break
+                if pivot_index is None:
+                    return
+            else:
+                pivot_index = 0
+            pivot_doc = alive[pivot_index][0]
+            num_alive = len(alive)
+            while (pivot_index + 1 < num_alive
+                   and alive[pivot_index + 1][0] == pivot_doc):
+                pivot_index += 1
+            pivot_set = alive[: pivot_index + 1]
+
+            # Block-level check (score-estimation unit). For the default
+            # one-block interval the peek is inlined: the pivot-set
+            # cursors are live by construction (no exhausted check) and
+            # the bound is one precomputed per-block maximum. Metadata
+            # is still charged through the cursor, block by block.
+            if et_block:
+                bound = 0.0
+                min_boundary = 1 << 62
+                if interval_blocks == 1:
+                    for entry in pivot_set:
+                        lasts = entry[5]
+                        index = bisect_left(lasts, pivot_doc,
+                                            entry[4]._block_index)
+                        if index >= len(lasts):
+                            continue
+                        entry[4]._charge_metadata(index)
+                        bound += entry[6][index]
+                        block_last = lasts[index]
+                        if block_last < min_boundary:
+                            min_boundary = block_last
+                else:
+                    for entry in pivot_set:
+                        peek = entry[4].peek_block_at(
+                            pivot_doc, window=interval_blocks
+                        )
+                        if peek is None:
+                            continue
+                        max_score, block_last = peek
+                        bound += max_score
+                        if block_last < min_boundary:
+                            min_boundary = block_last
+                if bound + ET_EPSILON <= cutoff:
+                    d = min_boundary + 1
+                    if pivot_index + 1 < num_alive:
+                        next_doc = alive[pivot_index + 1][0]
+                        if next_doc < d:
+                            d = next_doc
+                    for entry in pivot_set:
+                        entry[0] = entry[4].advance_to(d)
+                    alive = [e for e in alive if e[0] is not None]
+                    continue
+
+            # (4) Document scheduler.
+            if alive[0][0] == pivot_doc:
+                score = 0.0
+                normalizer = normalizers[pivot_doc]
+                for entry in pivot_set:
+                    if entry[0] == pivot_doc:
+                        cursor = entry[4]
+                        tfs = cursor._decoded_tfs
+                        tf = (tfs[cursor._position] if tfs is not None
+                              else cursor.current_tf())
+                        score += (entry[3] * (tf * k1_plus_1)
+                                  / (tf + normalizer))
+                docs_evaluated += 1
+                docs_matched += 1
+                topk_inserts += 1
+                offer(pivot_doc, score)
+                cutoff = (topk_entries[0][0]
+                          if len(topk_entries) >= topk_k else 0.0)
+                for entry in pivot_set:
+                    if entry[0] == pivot_doc:
+                        cursor = entry[4]
+                        ids = cursor._decoded_doc_ids
+                        position = cursor._position + 1
+                        if ids is not None and position < len(ids):
+                            cursor._position = position
+                            entry[0] = ids[position]
+                        else:
+                            entry[0] = _step_slow(cursor)
+            else:
+                for entry in pivot_set:
+                    if entry[0] < pivot_doc:
+                        entry[0] = entry[4].advance_to(pivot_doc)
+            alive = [e for e in alive if e[0] is not None]
+    finally:
+        work.merge_ops += merge_ops
+        work.docs_evaluated += docs_evaluated
+        work.docs_matched += docs_matched
+        work.topk_inserts += topk_inserts
+
+
+def run_grouped_intersection_fast(groups: Sequence[GroupCursor],
+                                  work: WorkCounters):
+    """Fast replica of ``intersection.run_grouped_intersection``.
+
+    Each group's member cursors are tracked as ``[doc, cursor]`` entries
+    (doc None = exhausted); the group-level min-docID, tf collection and
+    step logic run over those cached ints, reproducing exactly the
+    ``merge_ops`` contributions of every :class:`GroupCursor` method the
+    reference path would have called (including the internal
+    ``current_doc`` of ``current_tfs`` and ``step``).
+    """
+    if not groups:
+        raise SimulationError("intersection needs at least one group")
+    ordered = sorted(groups, key=lambda g: g.document_frequency)
+    # Group state: [primed?, [[doc, cursor], ...]]. Members are primed
+    # lazily at the group's first operation, exactly when the reference
+    # path first asks each member for its docID.
+    states = [[False, [[None, member] for member in group.members]]
+              for group in ordered]
+    merge_ops = 0
+
+    def prime(state):
+        if not state[0]:
+            state[0] = True
+            for entry in state[1]:
+                entry[0] = entry[1].current_doc()
+
+    def g_current_doc(state):
+        nonlocal merge_ops
+        prime(state)
+        best = None
+        live = 0
+        for entry in state[1]:
+            doc = entry[0]
+            if doc is not None:
+                live += 1
+                if best is None or doc < best:
+                    best = doc
+        if live > 1:
+            merge_ops += live - 1
+        return best
+
+    def g_advance_to(state, target):
+        nonlocal merge_ops
+        prime(state)
+        best = None
+        live = 0
+        for entry in state[1]:
+            doc = entry[0]
+            if doc is None:
+                continue
+            if doc < target:
+                doc = entry[1].advance_to(target)
+                entry[0] = doc
+                if doc is None:
+                    continue
+            live += 1
+            if best is None or doc < best:
+                best = doc
+        if live > 1:
+            merge_ops += live - 1
+        return best
+
+    def g_current_tfs(state):
+        doc = g_current_doc(state)
+        if doc is None:
+            raise SimulationError("group cursor exhausted")
+        tfs = {}
+        for entry in state[1]:
+            if entry[0] == doc:
+                tfs[entry[1].term] = _tf_inline(entry[1])
+        return tfs
+
+    def g_step(state):
+        doc = g_current_doc(state)
+        if doc is None:
+            raise SimulationError("group cursor exhausted")
+        for entry in state[1]:
+            if entry[0] == doc:
+                entry[0] = _step_inline(entry[1])
+
+    matches = []
+    driver = states[0]
+    others = states[1:]
+    doc = g_current_doc(driver)
+    while doc is not None:
+        merge_ops += 1
+        candidate = doc
+        in_all = True
+        for state in others:
+            landed = g_advance_to(state, candidate)
+            if landed is None:
+                doc = None
+                in_all = False
+                break
+            if landed != candidate:
+                doc = g_advance_to(driver, landed)
+                in_all = False
+                break
+        if doc is None:
+            break
+        if in_all:
+            tfs = g_current_tfs(driver)
+            for state in others:
+                tfs.update(g_current_tfs(state))
+            matches.append((candidate, tfs))
+            g_step(driver)
+            doc = g_current_doc(driver)
+    work.merge_ops += merge_ops
+    work.docs_matched += len(matches)
+    return matches

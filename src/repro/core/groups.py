@@ -22,6 +22,8 @@ from repro.sim.metrics import WorkCounters
 class GroupCursor:
     """Treats an OR-group of posting lists as one merged ascending stream."""
 
+    __slots__ = ("_members", "_work")
+
     def __init__(self, members: Sequence[ListCursor],
                  work: WorkCounters) -> None:
         if not members:

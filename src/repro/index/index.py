@@ -84,6 +84,14 @@ class CompressedPostingList:
         """Decompress block ``index``."""
         return self.blocks[index].decode(self.codec)
 
+    def decode_block_arrays(self, index: int):
+        """Fast-path decompress of block ``index``: ``(doc_ids, tfs)``.
+
+        Returns two parallel ``array('I')`` buffers (see
+        :meth:`repro.index.blocks.Block.decode_arrays`).
+        """
+        return self.blocks[index].decode_arrays(self.codec)
+
     def decode_all(self) -> List[Posting]:
         """Decompress the entire list (ground truth for tests)."""
         postings: List[Posting] = []

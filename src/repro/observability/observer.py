@@ -57,6 +57,12 @@ class Observer:
     def on_cache_access(self, hit: bool, nbytes: int) -> None:
         """The DRAM block cache served (hit) or missed one block."""
 
+    def on_decoded_block(self, hit: bool) -> None:
+        """The host-side decoded-block cache was consulted."""
+
+    def on_decode_path(self, scheme: str, fast: bool) -> None:
+        """A block was decompressed via the fast or reference path."""
+
     def on_cluster_complete(self, cluster_result) -> None:
         """The root merged one fanned-out query."""
 
@@ -168,6 +174,16 @@ class RecordingObserver(Observer):
         self.registry.counter(
             "cache.bytes", "bytes served per tier"
         ).inc(nbytes, tier="dram" if hit else "scm")
+
+    def on_decoded_block(self, hit: bool) -> None:
+        self.registry.counter(
+            "decoded_cache.accesses", "decoded-block cache lookups"
+        ).inc(outcome="hit" if hit else "miss")
+
+    def on_decode_path(self, scheme: str, fast: bool) -> None:
+        self.registry.counter(
+            "decode.invocations", "block decodes by execution path"
+        ).inc(path="fast" if fast else "reference", scheme=scheme)
 
     def on_cluster_complete(self, cluster_result) -> None:
         self.registry.counter(

@@ -53,17 +53,51 @@ CLASS_TO_STAGE = {
 }
 
 
-@dataclass(frozen=True)
 class TrafficEntry:
-    """One (class, pattern) bucket of a query's device traffic."""
+    """One (class, pattern) bucket of a query's device traffic.
 
-    access_class: str
-    pattern: str
-    direction: str  # "read" | "write"
-    tier: str       # "scm" by default; "dram" under a cache-tier study
-    bytes: int
-    accesses: int
-    stage: str      # functional stage the bytes are attributed to
+    A plain ``__slots__`` class rather than a dataclass: traces allocate
+    one of these per touched (class, pattern) bucket per query, and the
+    slotted layout removes the per-instance ``__dict__`` on the batch
+    driver's hot path (``dataclass(slots=True)`` needs Python >= 3.10;
+    CI still runs 3.9).
+    """
+
+    __slots__ = ("access_class", "pattern", "direction", "tier",
+                 "bytes", "accesses", "stage")
+
+    def __init__(self, access_class: str, pattern: str, direction: str,
+                 tier: str, bytes: int, accesses: int, stage: str) -> None:
+        self.access_class = access_class
+        self.pattern = pattern
+        #: "read" | "write"
+        self.direction = direction
+        #: "scm" by default; "dram" under a cache-tier study
+        self.tier = tier
+        self.bytes = bytes
+        self.accesses = accesses
+        #: Functional stage the bytes are attributed to.
+        self.stage = stage
+
+    def _key(self) -> tuple:
+        return (self.access_class, self.pattern, self.direction,
+                self.tier, self.bytes, self.accesses, self.stage)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TrafficEntry):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TrafficEntry(access_class={self.access_class!r}, "
+            f"pattern={self.pattern!r}, direction={self.direction!r}, "
+            f"tier={self.tier!r}, bytes={self.bytes}, "
+            f"accesses={self.accesses}, stage={self.stage!r})"
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -77,21 +111,44 @@ class TrafficEntry:
         }
 
 
-@dataclass(frozen=True)
 class Span:
-    """One pipeline stage's modeled execution window."""
+    """One pipeline stage's modeled execution window.
 
-    name: str
-    start_seconds: float
-    end_seconds: float
-    #: Device bytes attributed to this stage (0 for on-chip stages).
-    bytes_moved: int = 0
+    Slotted for the same reason as :class:`TrafficEntry`: six spans per
+    query trace add up under the batched driver.
+    """
 
-    def __post_init__(self) -> None:
-        if self.end_seconds < self.start_seconds:
+    __slots__ = ("name", "start_seconds", "end_seconds", "bytes_moved")
+
+    def __init__(self, name: str, start_seconds: float,
+                 end_seconds: float, bytes_moved: int = 0) -> None:
+        if end_seconds < start_seconds:
             raise ConfigurationError(
-                f"span {self.name!r} ends before it starts"
+                f"span {name!r} ends before it starts"
             )
+        self.name = name
+        self.start_seconds = start_seconds
+        self.end_seconds = end_seconds
+        #: Device bytes attributed to this stage (0 for on-chip stages).
+        self.bytes_moved = bytes_moved
+
+    def _key(self) -> tuple:
+        return (self.name, self.start_seconds, self.end_seconds,
+                self.bytes_moved)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Span):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span(name={self.name!r}, start_seconds={self.start_seconds}, "
+            f"end_seconds={self.end_seconds}, bytes_moved={self.bytes_moved})"
+        )
 
     @property
     def seconds(self) -> float:

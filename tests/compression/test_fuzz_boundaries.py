@@ -94,6 +94,52 @@ def test_truncated_payload_raises_dedicated_error(scheme):
     assert decoded != values
 
 
+class TestStrictTruncationDetection:
+    """VB and GVB must *raise* on any strict prefix, never mis-decode.
+
+    Both formats consume a deterministic number of bytes per value (VB
+    ends every value with a terminator byte; GVB's control byte fixes
+    its group's length), so a truncated stream always yields fewer than
+    ``count`` values — silent wrong output is not a permissible outcome
+    for these schemes, unlike bit-packed ones where a cut payload can
+    still contain enough (garbage) bits.
+    """
+
+    PAYLOADS = (
+        [0],
+        [1, 2, 3],
+        [0] * 7,
+        [300, 70_000, 5, (1 << 32) - 1],
+        list(range(0, 2 * BLOCK_SIZE, 3)),
+        [(1 << 32) - 1] * (BLOCK_SIZE + 1),
+    )
+
+    @pytest.mark.parametrize("scheme", ["VB", "GVB"])
+    def test_every_strict_prefix_raises(self, scheme):
+        codec = get_codec(scheme)
+        for values in self.PAYLOADS:
+            encoded = codec.encode(values)
+            for cut in range(len(encoded)):
+                with pytest.raises(CompressionError):
+                    codec.decode(encoded[:cut], len(values))
+
+    @pytest.mark.parametrize("scheme", ["VB", "GVB"])
+    def test_every_strict_prefix_raises_in_decode_block(self, scheme):
+        codec = get_codec(scheme)
+        for values in self.PAYLOADS:
+            encoded = codec.encode(values)
+            for cut in range(len(encoded)):
+                with pytest.raises(CompressionError):
+                    codec.decode_block(encoded[:cut], len(values))
+
+    @pytest.mark.parametrize("scheme", ["VB", "GVB"])
+    def test_truncation_error_names_the_failure(self, scheme):
+        codec = get_codec(scheme)
+        encoded = codec.encode([1000, 2000, 3000])
+        with pytest.raises(CompressionError, match="truncated input"):
+            codec.decode(encoded[:-1], 3)
+
+
 @pytest.mark.parametrize("num_docs",
                          [1, BLOCK_SIZE - 1, BLOCK_SIZE, BLOCK_SIZE + 1,
                           3 * BLOCK_SIZE + 1])

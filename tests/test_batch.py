@@ -1,0 +1,149 @@
+"""Tests for the batched parallel query driver (:mod:`repro.batch`)."""
+
+import pytest
+
+from repro.batch import BatchReport, run_query_batch
+from repro.cluster import SearchCluster, shard_documents
+from repro.core import BossAccelerator, BossConfig
+from repro.errors import ConfigurationError
+from tests.conftest import build_random_index, hits_as_pairs
+from tests.test_differential import _random_documents, _random_queries
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return BossAccelerator(build_random_index(num_docs=800, vocab_size=25,
+                                              seed=21),
+                           BossConfig(k=10))
+
+
+@pytest.fixture(scope="module")
+def queries(engine):
+    return _random_queries(sorted(engine.index), 47, count=16)
+
+
+class TestEngineBatch:
+    def test_batch_matches_serial(self, engine, queries):
+        batch = run_query_batch(engine, queries, k=10, workers=4)
+        serial = [engine.search(q, k=10) for q in queries]
+        assert len(batch.results) == len(queries)
+        for batched, expected in zip(batch.results, serial):
+            assert hits_as_pairs(batched) == hits_as_pairs(expected)
+            assert batched.work == expected.work
+            assert batched.traffic == expected.traffic
+
+    def test_worker_counts_agree(self, engine, queries):
+        one = run_query_batch(engine, queries, k=10, workers=1)
+        many = run_query_batch(engine, queries, k=10, workers=6)
+        for a, b in zip(one.results, many.results):
+            assert hits_as_pairs(a) == hits_as_pairs(b)
+
+    def test_report_sanity(self, engine, queries):
+        batch = run_query_batch(engine, queries, k=10, workers=2)
+        report = batch.report
+        assert isinstance(report, BatchReport)
+        assert report.num_queries == len(queries)
+        assert report.workers == 2
+        assert report.wall_seconds > 0
+        assert report.queries_per_second > 0
+        assert len(report.per_query_seconds) == len(queries)
+        assert report.p50_seconds <= report.p95_seconds
+        assert report.p95_seconds <= max(report.per_query_seconds)
+        payload = report.to_dict()
+        assert payload["num_queries"] == len(queries)
+        assert payload["p50_seconds"] == report.p50_seconds
+
+    def test_empty_batch_rejected(self, engine):
+        with pytest.raises(ConfigurationError):
+            run_query_batch(engine, [])
+
+    def test_bad_worker_count_rejected(self, engine, queries):
+        with pytest.raises(ConfigurationError):
+            run_query_batch(engine, queries, workers=0)
+
+    def test_batch_result_is_sequence_like(self, engine, queries):
+        batch = run_query_batch(engine, queries[:4], k=10, workers=2)
+        assert len(batch) == 4
+        assert list(iter(batch)) == batch.results
+        assert batch[0] is batch.results[0]
+
+    def test_enabled_observer_serializes_deterministically(self):
+        from repro.observability import RecordingObserver
+
+        index = build_random_index(num_docs=400, vocab_size=15, seed=9)
+        queries = _random_queries(sorted(index), 8, count=6)
+        observer = RecordingObserver()
+        engine = BossAccelerator(index, BossConfig(k=10),
+                                 observer=observer)
+        batch = run_query_batch(engine, queries, k=10, workers=4)
+        assert batch.report.workers == 1  # dropped to serial for traces
+        assert len(observer.traces) == len(queries)
+        assert [t.expression for t in observer.traces] == [
+            str(r.query) for r in batch.results
+        ]
+
+
+class TestClusterBatch:
+    @pytest.fixture(scope="class")
+    def cluster(self):
+        documents = _random_documents(num_docs=700, vocab=22, seed=33)
+        sharded = shard_documents(documents, num_shards=4)
+        return SearchCluster([
+            BossAccelerator(index, BossConfig(k=15))
+            for index in sharded.indexes
+        ])
+
+    @pytest.fixture(scope="class")
+    def cluster_queries(self):
+        return _random_queries([f"t{i}" for i in range(12)], 61, count=12)
+
+    def test_cluster_batch_matches_serial(self, cluster, cluster_queries):
+        batch = run_query_batch(cluster, cluster_queries, k=15, workers=4)
+        serial = [cluster.search(q, k=15) for q in cluster_queries]
+        for batched, expected in zip(batch.results, serial):
+            assert hits_as_pairs(batched) == hits_as_pairs(expected)
+            assert batched.traffic == expected.traffic
+            assert batched.work == expected.work
+            assert batched.merge_ops == expected.merge_ops
+            assert batched.interconnect_bytes == expected.interconnect_bytes
+            assert batched.shards_touched == expected.shards_touched
+
+    def test_cluster_parallelism_is_deterministic(self, cluster,
+                                                  cluster_queries):
+        runs = [
+            run_query_batch(cluster, cluster_queries, k=15, workers=w)
+            for w in (1, 3, 8)
+        ]
+        baseline = [hits_as_pairs(r) for r in runs[0].results]
+        for other in runs[1:]:
+            assert [hits_as_pairs(r) for r in other.results] == baseline
+
+    def test_cluster_report(self, cluster, cluster_queries):
+        batch = run_query_batch(cluster, cluster_queries, k=15, workers=3)
+        assert batch.report.num_queries == len(cluster_queries)
+        assert all(s >= 0 for s in batch.report.per_query_seconds)
+
+
+class TestSessionBatch:
+    def test_search_batch_matches_search(self):
+        from repro.api import BossSession
+
+        index = build_random_index(num_docs=500, vocab_size=18, seed=55)
+        session = BossSession(BossConfig(k=10))
+        session.init(index)
+        queries = _random_queries(sorted(index), 17, count=8)
+        batch = session.search_batch(queries, k=10, workers=4)
+        serial = [session.search(q, k=10) for q in queries]
+        for batched, expected in zip(batch.results, serial):
+            assert hits_as_pairs(batched) == hits_as_pairs(expected)
+
+    def test_search_batch_checks_arguments_up_front(self):
+        from repro.api import BossSession
+        from repro.errors import ReproError
+
+        session = BossSession(BossConfig(k=10))
+        session.init(build_random_index(num_docs=200, vocab_size=10,
+                                        seed=5))
+        # The bad second query fails the batch before anything executes.
+        with pytest.raises(ReproError):
+            session.search_batch(['"t0"', '"not-a-term"'], k=5)

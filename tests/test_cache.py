@@ -4,6 +4,7 @@ import pytest
 
 from repro.cache import (
     CacheSimulator,
+    DecodedBlockCache,
     LRUBlockCache,
     cached_memory_seconds,
 )
@@ -49,6 +50,64 @@ class TestLRUBlockCache:
     def test_negative_size_rejected(self):
         with pytest.raises(ConfigurationError):
             LRUBlockCache(10).access("a", 0, -1)
+
+
+class TestDecodedBlockCache:
+    def test_miss_then_hit_returns_same_object(self):
+        cache = DecodedBlockCache(capacity_blocks=4)
+        assert cache.get("a", 0, "VB") is None
+        pair = ([1, 2], [1, 1])
+        cache.put("a", 0, "VB", pair)
+        assert cache.get("a", 0, "VB") is pair
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_key_includes_scheme(self):
+        cache = DecodedBlockCache(capacity_blocks=4)
+        cache.put("a", 0, "VB", "vb-decoded")
+        assert cache.get("a", 0, "BP") is None
+        assert cache.get("a", 0, "VB") == "vb-decoded"
+
+    def test_lru_eviction_by_block_count(self):
+        cache = DecodedBlockCache(capacity_blocks=2)
+        cache.put("a", 0, "VB", "A")
+        cache.put("b", 0, "VB", "B")
+        assert cache.get("a", 0, "VB") == "A"  # touch a -> b is LRU
+        cache.put("c", 0, "VB", "C")           # evicts b
+        assert cache.get("b", 0, "VB") is None
+        assert cache.get("a", 0, "VB") == "A"
+        assert cache.get("c", 0, "VB") == "C"
+        assert cache.num_blocks == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            DecodedBlockCache(capacity_blocks=0)
+
+    def test_thread_safety_under_contention(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        cache = DecodedBlockCache(capacity_blocks=16)
+
+        def worker(base):
+            for i in range(200):
+                key = (base + i) % 32
+                if cache.get(f"t{key}", 0, "VB") is None:
+                    cache.put(f"t{key}", 0, "VB", key)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            for future in [pool.submit(worker, n * 7) for n in range(4)]:
+                future.result()
+        assert cache.num_blocks <= 16
+        assert cache.hits + cache.misses == 4 * 200
+
+    def test_engine_default_cache_fills_and_hits(self, small_index):
+        engine = BossAccelerator(small_index, BossConfig(k=10))
+        engine.search('"t0" OR "t2"')
+        assert engine.decoded_cache.misses > 0
+        assert engine.decoded_cache.hits == 0
+        engine.search('"t0" OR "t2"')
+        assert engine.decoded_cache.hits > 0
 
 
 class TestCacheSimulator:
