@@ -1,0 +1,251 @@
+#!/usr/bin/env python
+"""Fault-tolerance benchmark: latency and degradation under injected faults.
+
+Drives a sharded cluster (the paper's Figure 1(b) topology) through a
+Zipf-skewed query batch while the deterministic fault harness
+(:mod:`repro.faults`) injects leaf failures, and measures what the
+resilience layer (:mod:`repro.cluster.resilience`) buys:
+
+* **transient sweep** — transient leaf-failure rates swept with and
+  without a retry budget: retries should hold the degraded-result
+  fraction at zero while the no-retry runs degrade in proportion to
+  the fault rate;
+* **corruption sweep** — persistent corrupted-payload rates swept with
+  and without a shard replica: corruption is immune to retry (the bytes
+  stay bad), so only failover keeps results complete;
+* **kill-shard scenario** — one primary dies permanently; with a
+  replica the batch completes whole, without one it degrades but still
+  answers from the surviving shards.
+
+Each point reports qps, p50/p95/p99 per-query wall-clock, the
+degraded-result fraction, and the retry/timeout/failover counters.
+Results are written as JSON (default: ``BENCH_faults.json`` at the repo
+root) so CI can archive the trajectory; nothing is gated on them.
+
+Usage::
+
+    python benchmarks/bench_fault_tolerance.py           # full sweep
+    python benchmarks/bench_fault_tolerance.py --smoke   # CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.batch import run_query_batch  # noqa: E402
+from repro.cluster.resilience import ResiliencePolicy  # noqa: E402
+from repro.faults import (  # noqa: E402
+    ZERO_FAULTS,
+    FaultConfig,
+    make_faulty_cluster,
+)
+from repro.workloads import synthetic_documents  # noqa: E402
+from repro.workloads.queries import QuerySampler  # noqa: E402
+
+_REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+_DEFAULT_OUT = os.path.join(_REPO_ROOT, "BENCH_faults.json")
+
+
+def _run_point(documents, queries, *, shards, k, workers, faults,
+               policy, replication=1, replica_faults=None,
+               label="") -> dict:
+    """One sweep point: fresh cluster, one batch, collected counters.
+
+    A fresh cluster per point keeps the fault schedule's logical-query
+    attempt counters from leaking between points.
+    """
+    cluster, _sharded = make_faulty_cluster(
+        documents, shards, faults=faults, policy=policy,
+        replication_factor=replication, k=k,
+        replica_faults=replica_faults,
+    )
+    batch = run_query_batch(cluster, queries, k=k, workers=workers)
+    report = batch.report
+    failed_shards = sorted({
+        shard for r in batch.results for shard in r.shards_failed
+    })
+    return {
+        "label": label,
+        "queries_per_second": round(report.queries_per_second, 2),
+        "p50_ms": round(report.p50_seconds * 1e3, 4),
+        "p95_ms": round(report.p95_seconds * 1e3, 4),
+        "p99_ms": round(report.p99_seconds * 1e3, 4),
+        "degraded_fraction": round(report.degraded_fraction, 4),
+        "queries_degraded": report.queries_degraded,
+        "leaf_retries": sum(r.leaf_retries for r in batch.results),
+        "leaf_timeouts": sum(r.leaf_timeouts for r in batch.results),
+        "leaf_failovers": sum(r.leaf_failovers for r in batch.results),
+        "failed_shards": failed_shards,
+    }
+
+
+def sweep_transient(documents, queries, rates, *, shards, k, workers,
+                    seed, retries) -> list:
+    """Transient fault rates x {no retries, retry budget}."""
+    points = []
+    for rate in rates:
+        faults = FaultConfig(seed=seed, transient_failure_probability=rate)
+        for budget in (0, retries):
+            policy = ResiliencePolicy(max_retries=budget,
+                                      allow_degraded=True)
+            points.append(dict(
+                _run_point(documents, queries, shards=shards, k=k,
+                           workers=workers, faults=faults, policy=policy,
+                           label=f"transient={rate:g} retries={budget}"),
+                fault_rate=rate, retry_budget=budget,
+            ))
+    return points
+
+
+def sweep_corruption(documents, queries, rates, *, shards, k, workers,
+                     seed, retries) -> list:
+    """Corruption rates x {no replica, one healthy replica}."""
+    points = []
+    policy = ResiliencePolicy(max_retries=retries, allow_degraded=True)
+    for rate in rates:
+        faults = FaultConfig(seed=seed, corruption_probability=rate)
+        for replication in (1, 2):
+            points.append(dict(
+                _run_point(documents, queries, shards=shards, k=k,
+                           workers=workers, faults=faults, policy=policy,
+                           replication=replication,
+                           replica_faults=ZERO_FAULTS,
+                           label=f"corruption={rate:g} "
+                                 f"replicas={replication - 1}"),
+                corruption_rate=rate, replication=replication,
+            ))
+    return points
+
+
+def kill_shard_scenario(documents, queries, *, shards, k, workers,
+                        seed, retries) -> list:
+    """One primary dies permanently, with and without a replica."""
+    faults = [
+        FaultConfig(seed=seed, permanent_failure_after=0)
+        if shard == 0 else ZERO_FAULTS
+        for shard in range(shards)
+    ]
+    policy = ResiliencePolicy(max_retries=retries, allow_degraded=True)
+    points = []
+    for replication in (1, 2):
+        points.append(dict(
+            _run_point(documents, queries, shards=shards, k=k,
+                       workers=workers, faults=faults, policy=policy,
+                       replication=replication,
+                       replica_faults=ZERO_FAULTS,
+                       label=f"kill-shard-0 replicas={replication - 1}"),
+            replication=replication,
+        ))
+    return points
+
+
+def _print_points(title: str, points) -> None:
+    print(f"\n== {title} ==")
+    print(f"{'point':<28}{'qps':>9}{'p50 ms':>9}{'p95 ms':>9}"
+          f"{'p99 ms':>9}{'retry':>7}{'fail.over':>10}{'degraded':>9}")
+    for point in points:
+        print(f"{point['label']:<28}{point['queries_per_second']:>9}"
+              f"{point['p50_ms']:>9}{point['p95_ms']:>9}"
+              f"{point['p99_ms']:>9}{point['leaf_retries']:>7}"
+              f"{point['leaf_failovers']:>10}"
+              f"{point['degraded_fraction']:>8.1%}")
+        if point["failed_shards"]:
+            print(f"    failed shards: {point['failed_shards']}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--docs", type=int, default=2400,
+                        help="synthetic documents behind the cluster")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--queries", type=int, default=120,
+                        help="queries in the Zipf batch")
+    parser.add_argument("--unique", type=int, default=40,
+                        help="unique queries in the Zipf log")
+    parser.add_argument("-k", type=int, default=10)
+    parser.add_argument("--workers", type=int, default=4,
+                        help="batch-driver worker threads")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="retry budget for the with-retries points")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--out", default=_DEFAULT_OUT,
+                        help="JSON output path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer docs/queries/points)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.docs = min(args.docs, 600)
+        args.queries = min(args.queries, 24)
+        args.unique = min(args.unique, 10)
+        args.shards = min(args.shards, 3)
+        args.workers = min(args.workers, 2)
+        transient_rates = (0.0, 0.3)
+        corruption_rates = (0.1,)
+    else:
+        transient_rates = (0.0, 0.1, 0.3, 0.5)
+        corruption_rates = (0.05, 0.15)
+
+    print(f"building {args.docs}-document corpus, "
+          f"{args.shards} shards, {args.queries} queries ...")
+    documents = synthetic_documents(num_docs=args.docs, seed=args.seed)
+    vocab = [f"t{i}" for i in range(40)]
+    sampler = QuerySampler(vocab, seed=args.seed + 3)
+    unique = max(1, min(args.unique, args.queries))
+    queries = [
+        spec.expression
+        for spec in sampler.sample_zipf_log(args.queries,
+                                            unique_queries=unique)
+    ]
+
+    transient = sweep_transient(
+        documents, queries, transient_rates, shards=args.shards, k=args.k,
+        workers=args.workers, seed=args.seed, retries=args.retries,
+    )
+    corruption = sweep_corruption(
+        documents, queries, corruption_rates, shards=args.shards, k=args.k,
+        workers=args.workers, seed=args.seed, retries=args.retries,
+    )
+    killed = kill_shard_scenario(
+        documents, queries, shards=args.shards, k=args.k,
+        workers=args.workers, seed=args.seed, retries=args.retries,
+    )
+
+    payload = {
+        "benchmark": "bench_fault_tolerance",
+        "config": {
+            "num_docs": args.docs,
+            "shards": args.shards,
+            "num_queries": args.queries,
+            "unique_queries": unique,
+            "k": args.k,
+            "workers": args.workers,
+            "retry_budget": args.retries,
+            "seed": args.seed,
+            "smoke": args.smoke,
+        },
+        "transient_sweep": transient,
+        "corruption_sweep": corruption,
+        "kill_shard": killed,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    _print_points("transient faults: retry budget 0 vs "
+                  f"{args.retries}", transient)
+    _print_points("persistent corruption: 0 vs 1 replica", corruption)
+    _print_points("permanent leaf death (shard 0)", killed)
+    print(f"\nwrote {os.path.relpath(args.out, os.getcwd())}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

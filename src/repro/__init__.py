@@ -47,11 +47,14 @@ from repro.errors import (
     CompressionError,
     ConfigurationError,
     DecompressorProgramError,
+    FaultInjectionError,
     InvertedIndexError,
+    LeafExecutionError,
     QueryError,
     ReproError,
     SimulationError,
 )
+from repro.faults import ZERO_FAULTS, FaultConfig, FaultyEngine
 from repro.index import (
     BM25Parameters,
     BM25Scorer,
@@ -114,6 +117,10 @@ __all__ = [
     # workloads
     "make_corpus",
     "QuerySampler",
+    # fault injection
+    "FaultConfig",
+    "FaultyEngine",
+    "ZERO_FAULTS",
     # errors
     "ReproError",
     "CompressionError",
@@ -122,4 +129,6 @@ __all__ = [
     "QueryError",
     "ConfigurationError",
     "SimulationError",
+    "FaultInjectionError",
+    "LeafExecutionError",
 ]

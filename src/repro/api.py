@@ -37,12 +37,21 @@ MAX_QUERY_TERMS = 16
 
 
 class BossSession:
-    """A host <-> BOSS communication session over one memory node."""
+    """A host <-> BOSS communication session over one memory node.
+
+    ``faults`` optionally wraps the accelerator in a deterministic
+    :class:`repro.faults.FaultyEngine` schedule (latency spikes,
+    transient/permanent failures, corrupted payloads) — the single-node
+    analogue of the cluster's fault studies. The zero-fault schedule is
+    a guaranteed pass-through.
+    """
 
     def __init__(self, config: BossConfig = BossConfig(),
-                 observer: Observer = NULL_OBSERVER) -> None:
+                 observer: Observer = NULL_OBSERVER,
+                 faults=None) -> None:
         self._config = config
         self._observer = observer
+        self._faults = faults
         self._index: Optional[InvertedIndex] = None
         self._accelerator: Optional[BossAccelerator] = None
         self._programs: Dict[str, DecompressorProgram] = {}
@@ -72,6 +81,11 @@ class BossSession:
         self._index = index
         self._accelerator = BossAccelerator(index, self._config,
                                             observer=self._observer)
+        if self._faults is not None and not self._faults.zero_fault:
+            from repro.faults import FaultyEngine
+
+            self._accelerator = FaultyEngine(self._accelerator,
+                                             self._faults)
         self._programs = dict(BUILTIN_PROGRAMS)
         if config_file is not None:
             text = Path(config_file).read_text()

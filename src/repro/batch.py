@@ -39,8 +39,14 @@ MAX_DEFAULT_WORKERS = 8
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending-sorted sequence."""
+    """Nearest-rank percentile of an ascending-sorted sequence.
+
+    Empty samples yield 0.0 (same guard as ``queries_per_second``) so a
+    report with no per-query measurements renders instead of raising.
+    """
     n = len(sorted_values)
+    if n == 0:
+        return 0.0
     index = max(0, min(n - 1, int(q * n + 0.999999) - 1))
     return sorted_values[index]
 
@@ -56,15 +62,18 @@ class BatchReport:
     """
 
     __slots__ = ("num_queries", "workers", "wall_seconds",
-                 "per_query_seconds")
+                 "per_query_seconds", "queries_degraded")
 
     def __init__(self, num_queries: int, workers: int,
                  wall_seconds: float,
-                 per_query_seconds: List[float]) -> None:
+                 per_query_seconds: List[float],
+                 queries_degraded: int = 0) -> None:
         self.num_queries = num_queries
         self.workers = workers
         self.wall_seconds = wall_seconds
         self.per_query_seconds = per_query_seconds
+        #: Cluster runs only: queries whose merge skipped a failed shard.
+        self.queries_degraded = queries_degraded
 
     @property
     def queries_per_second(self) -> float:
@@ -80,6 +89,16 @@ class BatchReport:
     def p95_seconds(self) -> float:
         return _percentile(sorted(self.per_query_seconds), 0.95)
 
+    @property
+    def p99_seconds(self) -> float:
+        return _percentile(sorted(self.per_query_seconds), 0.99)
+
+    @property
+    def degraded_fraction(self) -> float:
+        if self.num_queries <= 0:
+            return 0.0
+        return self.queries_degraded / self.num_queries
+
     def to_dict(self) -> dict:
         return {
             "num_queries": self.num_queries,
@@ -88,6 +107,9 @@ class BatchReport:
             "queries_per_second": self.queries_per_second,
             "p50_seconds": self.p50_seconds,
             "p95_seconds": self.p95_seconds,
+            "p99_seconds": self.p99_seconds,
+            "queries_degraded": self.queries_degraded,
+            "degraded_fraction": self.degraded_fraction,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -164,7 +186,13 @@ def _run_engine_batch(engine, expressions, k, workers) -> BatchResult:
     else:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(_one, e) for e in expressions]
-            timed = [f.result() for f in futures]
+            try:
+                timed = [f.result() for f in futures]
+            except BaseException:
+                # Don't abandon queued work on a mid-collection failure.
+                for future in futures:
+                    future.cancel()
+                raise
     wall = perf_counter() - wall_start
     report = BatchReport(
         num_queries=len(expressions), workers=workers, wall_seconds=wall,
@@ -182,14 +210,24 @@ def _run_cluster_batch(cluster, expressions, k, workers) -> BatchResult:
     ):
         workers = 1
 
+    from repro.cluster.resilience import execute_leaf
+    from repro.errors import LeafExecutionError
+
     # Root-side dissection is serial (and cheap): parse + per-shard
     # pruning for every query up front.
     plans = [cluster.plan(expression) for expression in expressions]
 
-    def _leaf(engine, pruned):
-        start = perf_counter()
-        result = engine.search(pruned, k=effective_k)
-        return result, perf_counter() - start
+    def _leaf(shard_index, pruned, expression):
+        # Resilient leaf execution: retries, per-attempt timeout and
+        # replica failover happen inside the worker, so a shard's
+        # recovery never blocks other (query, shard) pairs. Raises
+        # LeafExecutionError (naming query and shard) only under a
+        # no-degradation policy.
+        return execute_leaf(
+            cluster.shard_candidates(shard_index), pruned, effective_k,
+            cluster.policy, shard_index, expression=expression,
+            observer=cluster.observer,
+        )
 
     wall_start = perf_counter()
     futures = {}
@@ -199,33 +237,55 @@ def _run_cluster_batch(cluster, expressions, k, workers) -> BatchResult:
                 if pruned is None:
                     continue
                 futures[(query_index, shard_index)] = pool.submit(
-                    _leaf, cluster.engines[shard_index], pruned
+                    _leaf, shard_index, pruned, expressions[query_index]
                 )
         # Collect by (query, shard) index and merge in the main thread:
         # shard order is fixed per query and query order is input order,
         # so the merge is independent of pool scheduling.
         results = []
         per_query_seconds = []
-        for query_index, (node, per_shard) in enumerate(plans):
-            leaf_results = []
-            slowest_shard = 0.0
-            for shard_index, pruned in enumerate(per_shard):
-                if pruned is None:
-                    leaf_results.append(None)
-                    continue
-                leaf_result, seconds = futures[
-                    (query_index, shard_index)
-                ].result()
-                leaf_results.append(leaf_result)
-                slowest_shard = max(slowest_shard, seconds)
-            merge_start = perf_counter()
-            merged = cluster.merge(node, leaf_results, k=effective_k)
-            merge_seconds = perf_counter() - merge_start
-            results.append(merged)
-            per_query_seconds.append(slowest_shard + merge_seconds)
+        queries_degraded = 0
+        try:
+            for query_index, (node, per_shard) in enumerate(plans):
+                leaf_results = []
+                outcomes = []
+                slowest_shard = 0.0
+                for shard_index, pruned in enumerate(per_shard):
+                    if pruned is None:
+                        leaf_results.append(None)
+                        outcomes.append(None)
+                        continue
+                    outcome = futures[(query_index, shard_index)].result()
+                    leaf_results.append(outcome.result)
+                    outcomes.append(outcome)
+                    slowest_shard = max(slowest_shard,
+                                        outcome.elapsed_seconds)
+                merge_start = perf_counter()
+                merged = cluster.merge(node, leaf_results, k=effective_k,
+                                       outcomes=outcomes)
+                merge_seconds = perf_counter() - merge_start
+                if merged.degraded:
+                    queries_degraded += 1
+                results.append(merged)
+                per_query_seconds.append(slowest_shard + merge_seconds)
+        except BaseException as error:
+            # A leaf failed under a no-degradation policy (or the merge
+            # itself raised): cancel all pending (query, shard) work so
+            # the pool drains promptly instead of grinding through a
+            # batch whose result has already been abandoned.
+            for future in futures.values():
+                future.cancel()
+            if isinstance(error, LeafExecutionError):
+                raise
+            raise LeafExecutionError(
+                f"cluster batch aborted at query index {query_index} "
+                f"({expressions[query_index]!r}): {error!r}",
+                expression=expressions[query_index],
+            ) from error
     wall = perf_counter() - wall_start
     report = BatchReport(
         num_queries=len(expressions), workers=workers, wall_seconds=wall,
         per_query_seconds=per_query_seconds,
+        queries_degraded=queries_degraded,
     )
     return BatchResult(results, report)

@@ -75,7 +75,23 @@ class LRUBlockCache:
             raise ConfigurationError("negative block size")
         key = (term, block_index)
         if key in self._entries:
+            # A hit may carry a different size than the insert did
+            # (e.g. replayed traces from differently-compressed runs);
+            # keep the byte accounting honest or the capacity LRU
+            # over/under-evicts forever after.
+            stored = self._entries[key]
+            if size != stored:
+                self._used += size - stored
+                self._entries[key] = size
             self._entries.move_to_end(key)
+            if size > self.capacity_bytes:
+                # Grew past the whole cache: now uncacheable, same as
+                # the miss path's oversized rule.
+                del self._entries[key]
+                self._used -= size
+            while self._used > self.capacity_bytes and self._entries:
+                _evicted_key, evicted_size = self._entries.popitem(last=False)
+                self._used -= evicted_size
             self.hits += 1
             if self._observer is not None:
                 self._observer.on_cache_access(True, size)

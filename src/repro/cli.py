@@ -21,6 +21,16 @@ the worker-pool driver (:mod:`repro.batch`) and reports wall-clock
 throughput per pass (later passes hit the warm decoded-block cache).
 ``demo`` builds a small synthetic corpus and prints the
 BOSS/IIU/Lucene comparison.
+
+Cluster resilience (``--shards N`` on ``bench`` and ``trace``): both
+commands can stand up a sharded cluster over a synthetic document set
+(vocabulary ``t0`` ... ``t39``) with deterministic fault injection
+(``--fault-rate``, ``--corruption-rate``, ``--kill-shard``) and a
+retry/timeout/failover policy (``--retries``, ``--timeout-ms``,
+``--replication``). ``bench --shards`` reports p50/p95/p99 plus
+retry/timeout/failover counts and the degraded-result fraction;
+``trace --shards`` prints the per-shard resilience breakdown of one
+query. See ``docs/robustness.md``.
 """
 
 from __future__ import annotations
@@ -75,13 +85,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser(
         "trace", help="per-stage profile of one query (observability)")
-    trace.add_argument("--index", required=True)
+    trace.add_argument("--index", default=None,
+                       help="index file (required unless --shards)")
     trace.add_argument("--query", required=True,
                        help='paper syntax, e.g. \'"a" AND "b"\'')
     trace.add_argument("-k", type=int, default=10)
     trace.add_argument("--engine", choices=("boss", "iiu"), default="boss")
     trace.add_argument("--json", action="store_true",
                        help="emit the full trace record as JSON")
+    _add_fault_arguments(trace)
 
     metrics = sub.add_parser(
         "metrics", help="run queries and dump the metrics registry")
@@ -117,9 +129,74 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(pre-fast-path engine) for comparison")
     bench.add_argument("--json", action="store_true",
                        help="emit the reports as JSON")
+    _add_fault_arguments(bench)
 
     sub.add_parser("demo", help="synthetic-corpus engine comparison")
     return parser
+
+
+def _add_fault_arguments(command) -> None:
+    """Cluster fault-injection / resilience flags (bench and trace)."""
+    group = command.add_argument_group(
+        "cluster resilience",
+        "run a sharded cluster with deterministic fault injection "
+        "(--shards enables the mode; synthetic documents, no --index)",
+    )
+    group.add_argument("--shards", type=int, default=0,
+                       help="leaf shards (0 = single engine, the default)")
+    group.add_argument("--replication", type=int, default=1,
+                       help="leaf nodes per shard (1 = no replicas)")
+    group.add_argument("--fault-rate", type=float, default=0.0,
+                       help="transient leaf-failure probability per query")
+    group.add_argument("--corruption-rate", type=float, default=0.0,
+                       help="corrupted-payload probability per query")
+    group.add_argument("--kill-shard", type=int, default=None,
+                       help="shard whose primary dies after the first "
+                            "query (replicas stay healthy)")
+    group.add_argument("--fault-seed", type=int, default=7,
+                       help="fault schedule seed")
+    group.add_argument("--retries", type=int, default=2,
+                       help="extra attempts per leaf engine")
+    group.add_argument("--timeout-ms", type=float, default=None,
+                       help="per-attempt leaf timeout (ms)")
+    group.add_argument("--cluster-docs", type=int, default=1200,
+                       help="synthetic documents behind the cluster")
+
+
+def _build_fault_cluster(args, k: int):
+    """Assemble the faulty resilient cluster the CLI flags describe."""
+    from repro.cluster.resilience import ResiliencePolicy
+    from repro.faults import ZERO_FAULTS, FaultConfig, make_faulty_cluster
+    from repro.workloads import synthetic_documents
+
+    base = FaultConfig(
+        seed=args.fault_seed,
+        transient_failure_probability=args.fault_rate,
+        corruption_probability=args.corruption_rate,
+    )
+    if args.kill_shard is not None:
+        from dataclasses import replace
+
+        faults = [
+            replace(base, permanent_failure_after=0)
+            if shard == args.kill_shard else base
+            for shard in range(args.shards)
+        ]
+    else:
+        faults = base
+    policy = ResiliencePolicy(
+        timeout_seconds=(args.timeout_ms / 1e3
+                         if args.timeout_ms is not None else None),
+        max_retries=args.retries,
+        allow_degraded=True,
+    )
+    cluster, sharded = make_faulty_cluster(
+        synthetic_documents(num_docs=args.cluster_docs, seed=args.fault_seed),
+        args.shards, faults=faults, policy=policy,
+        replication_factor=args.replication, k=k,
+        replica_faults=ZERO_FAULTS if args.kill_shard is not None else None,
+    )
+    return cluster, sharded
 
 
 def _cmd_build(args) -> int:
@@ -212,6 +289,12 @@ def _cmd_trace(args) -> int:
 
     from repro.observability import RecordingObserver, build_trace, render_trace
 
+    if args.shards:
+        return _cmd_trace_cluster(args)
+    if not args.index:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError("trace needs --index (or --shards)")
     index = load_index(args.index)
     if args.engine == "boss":
         from repro.api import BossSession
@@ -229,6 +312,56 @@ def _cmd_trace(args) -> int:
         print(json.dumps(trace.to_dict(), indent=2))
     else:
         print(render_trace(trace))
+    return 0
+
+
+def _cmd_trace_cluster(args) -> int:
+    """``trace --shards N``: per-shard resilience breakdown of a query."""
+    import json
+
+    from repro.cluster.resilience import describe_outcomes
+
+    cluster, _sharded = _build_fault_cluster(args, args.k)
+    merged = cluster.search(args.query, k=args.k)
+    if args.json:
+        record = {
+            "query": args.query,
+            "shards": args.shards,
+            "replication": args.replication,
+            "degraded": merged.degraded,
+            "shards_failed": list(merged.shards_failed),
+            "leaf_retries": merged.leaf_retries,
+            "leaf_timeouts": merged.leaf_timeouts,
+            "leaf_failovers": merged.leaf_failovers,
+            "hits": [
+                {"doc_id": hit.doc_id, "score": hit.score}
+                for hit in merged.hits
+            ],
+            "leaves": [
+                None if outcome is None else {
+                    "shard": outcome.shard_index,
+                    "failed": outcome.failed,
+                    "attempts": outcome.attempts,
+                    "retries": outcome.retries,
+                    "timeouts": outcome.timeouts,
+                    "failovers": outcome.failovers,
+                    "elapsed_seconds": outcome.elapsed_seconds,
+                    "error": outcome.error,
+                }
+                for outcome in (merged.leaf_outcomes or [])
+            ],
+        }
+        print(json.dumps(record, indent=2))
+        return 0
+    state = "DEGRADED" if merged.degraded else "complete"
+    print(f"{args.query} over {args.shards} shards "
+          f"x{args.replication}: {state}, {len(merged.hits)} hits")
+    print(describe_outcomes(merged.leaf_outcomes or []))
+    if merged.shards_failed:
+        print(f"failed shards: {sorted(merged.shards_failed)}")
+    print(f"resilience: retries={merged.leaf_retries} "
+          f"timeouts={merged.leaf_timeouts} "
+          f"failovers={merged.leaf_failovers}")
     return 0
 
 
@@ -260,6 +393,8 @@ def _cmd_bench(args) -> int:
     from repro.batch import run_query_batch
     from repro.workloads import QuerySampler
 
+    if args.shards:
+        return _cmd_bench_cluster(args)
     if args.index:
         index = load_index(args.index)
         terms_by_df = sorted(
@@ -313,6 +448,76 @@ def _cmd_bench(args) -> int:
     if cache is not None:
         print(f"decoded-block cache: {cache.hits} hits / "
               f"{cache.misses} misses ({cache.hit_rate:.1%})")
+    return 0
+
+
+def _cmd_bench_cluster(args) -> int:
+    """``bench --shards N``: resilient cluster under injected faults."""
+    import json
+
+    from repro.batch import run_query_batch
+    from repro.errors import ConfigurationError
+    from repro.workloads import QuerySampler
+
+    if args.index:
+        raise ConfigurationError(
+            "--shards benches a synthetic sharded corpus; drop --index"
+        )
+    cluster, _sharded = _build_fault_cluster(args, args.k)
+    vocab = [f"t{i}" for i in range(40)]
+    sampler = QuerySampler(vocab, seed=args.seed)
+    unique = max(1, min(args.unique, args.queries))
+    queries = [
+        spec.expression
+        for spec in sampler.sample_zipf_log(args.queries,
+                                            unique_queries=unique)
+    ]
+    passes = []
+    for _ in range(max(1, args.repeat)):
+        batch = run_query_batch(cluster, queries, k=args.k,
+                                workers=args.workers)
+        retries = sum(r.leaf_retries for r in batch.results)
+        timeouts = sum(r.leaf_timeouts for r in batch.results)
+        failovers = sum(r.leaf_failovers for r in batch.results)
+        failed_shards = sorted({
+            shard for r in batch.results for shard in r.shards_failed
+        })
+        passes.append((batch.report, retries, timeouts, failovers,
+                       failed_shards))
+    if args.json:
+        print(json.dumps({
+            "shards": args.shards,
+            "replication": args.replication,
+            "fault_rate": args.fault_rate,
+            "corruption_rate": args.corruption_rate,
+            "retries_budget": args.retries,
+            "timeout_ms": args.timeout_ms,
+            "passes": [
+                dict(report.to_dict(), leaf_retries=retries,
+                     leaf_timeouts=timeouts, leaf_failovers=failovers,
+                     failed_shards=failed_shards)
+                for report, retries, timeouts, failovers, failed_shards
+                in passes
+            ],
+        }, indent=2))
+        return 0
+    print(f"{len(queries)} queries ({unique} unique) over {args.shards} "
+          f"shards x{args.replication}, fault rate {args.fault_rate:g}, "
+          f"corruption {args.corruption_rate:g}, "
+          f"retries {args.retries}, workers={passes[0][0].workers}")
+    print(f"{'pass':<6}{'qps':>9}{'p50 (ms)':>10}{'p95 (ms)':>10}"
+          f"{'p99 (ms)':>10}{'retries':>9}{'timeouts':>9}"
+          f"{'failover':>9}{'degraded':>9}")
+    for number, (report, retries, timeouts, failovers,
+                 failed_shards) in enumerate(passes, start=1):
+        print(f"{number:<6}{report.queries_per_second:>9.1f}"
+              f"{report.p50_seconds * 1e3:>10.2f}"
+              f"{report.p95_seconds * 1e3:>10.2f}"
+              f"{report.p99_seconds * 1e3:>10.2f}"
+              f"{retries:>9}{timeouts:>9}{failovers:>9}"
+              f"{report.degraded_fraction:>8.1%}")
+        if failed_shards:
+            print(f"      failed shards: {failed_shards}")
     return 0
 
 

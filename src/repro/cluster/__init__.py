@@ -10,9 +10,18 @@ paper's deployment each leaf is one SCM memory node with a BOSS device.
   builders so BM25 scores are identical to a monolithic index;
 * :mod:`repro.cluster.root` — the root node: fan-out, leaf execution on
   any engine, score-ordered top-k merge, and aggregate traffic/latency
-  accounting.
+  accounting;
+* :mod:`repro.cluster.resilience` — policy-driven resilient leaf
+  execution: per-attempt timeouts, bounded retry with backoff, replica
+  failover, and graceful degradation with degraded-result accounting.
 """
 
+from repro.cluster.resilience import (
+    STRICT_POLICY,
+    LeafOutcome,
+    ResiliencePolicy,
+    ResilienceStats,
+)
 from repro.cluster.root import ClusterSearchResult, SearchCluster
 from repro.cluster.sharding import ShardedCorpus, shard_documents
 
@@ -21,4 +30,8 @@ __all__ = [
     "ClusterSearchResult",
     "ShardedCorpus",
     "shard_documents",
+    "ResiliencePolicy",
+    "ResilienceStats",
+    "LeafOutcome",
+    "STRICT_POLICY",
 ]

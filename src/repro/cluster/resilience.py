@@ -1,0 +1,232 @@
+"""Resilient leaf execution: retry, timeout, failover, degradation.
+
+The serving-at-scale literature treats leaf loss and tail latency as
+first-class (a root that fans out to hundreds of leaves sees one of
+them misbehave on essentially every query); this module gives the
+cluster root a policy-driven execution core shared by the serial path
+(:meth:`~repro.cluster.root.SearchCluster.search`) and the batched
+driver (:func:`repro.batch.run_query_batch`):
+
+* **bounded retry with exponential backoff** — each candidate engine
+  gets ``1 + max_retries`` attempts; attempt ``n`` sleeps
+  ``backoff_base_seconds * backoff_multiplier**n`` first;
+* **per-attempt timeout** — cooperative: the attempt runs to completion
+  and its *result is discarded* when it exceeded ``timeout_seconds``
+  (a Python thread cannot be interrupted mid-search; discarding the
+  late answer models the root abandoning a straggler). Timed-out
+  attempts consume retry budget like failures;
+* **failover** — when a candidate exhausts its budget, execution moves
+  to the shard's next replica with a fresh attempt budget;
+* **graceful degradation** — when every replica is exhausted the shard
+  is reported failed; under ``allow_degraded`` the root merges without
+  it, otherwise a :class:`~repro.errors.LeafExecutionError` naming the
+  (query, shard) is raised.
+
+The no-op policy (:data:`STRICT_POLICY`: no timeout, no retries, no
+degradation) takes a fast path that calls ``engine.search`` directly,
+so an unconfigured cluster is bit-identical to pre-resilience behavior.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import List, Optional
+
+from repro.errors import ConfigurationError, LeafExecutionError
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """How the root treats a misbehaving leaf."""
+
+    #: Per-attempt wall-clock budget (None = wait forever).
+    timeout_seconds: Optional[float] = None
+    #: Extra attempts per candidate engine after the first.
+    max_retries: int = 0
+    #: First-retry backoff sleep; 0 disables backoff entirely.
+    backoff_base_seconds: float = 0.0
+    #: Backoff growth factor per further retry.
+    backoff_multiplier: float = 2.0
+    #: Merge without an exhausted shard (True) or raise (False).
+    allow_degraded: bool = True
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ConfigurationError("timeout must be positive (or None)")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if self.backoff_base_seconds < 0:
+            raise ConfigurationError("backoff base must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError("backoff multiplier must be >= 1")
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the policy can never alter execution."""
+        return (
+            self.timeout_seconds is None
+            and self.max_retries == 0
+            and not self.allow_degraded
+        )
+
+
+#: Pre-resilience semantics: one attempt, no timeout, failure raises.
+STRICT_POLICY = ResiliencePolicy(allow_degraded=False)
+
+
+@dataclass
+class LeafOutcome:
+    """What happened executing one (query, shard) pair."""
+
+    shard_index: int
+    #: The merged-in result; None when the shard failed outright.
+    result: Optional[object] = None
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    #: Replica switches (0 = the primary answered).
+    failovers: int = 0
+    failed: bool = False
+    #: repr of the last error, for reports and traces.
+    error: Optional[str] = None
+    #: Wall-clock spent on this shard including retries and backoff.
+    elapsed_seconds: float = 0.0
+    #: Per-attempt wall-clock of the *answering* attempt only.
+    attempt_seconds: float = 0.0
+
+    def describe(self) -> str:
+        """One report line, e.g. for the trace CLI."""
+        state = "FAILED" if self.failed else "ok"
+        detail = f" [{self.error}]" if self.failed and self.error else ""
+        return (
+            f"shard {self.shard_index}: {state} attempts={self.attempts} "
+            f"retries={self.retries} timeouts={self.timeouts} "
+            f"failovers={self.failovers} "
+            f"elapsed={self.elapsed_seconds * 1e3:.2f}ms{detail}"
+        )
+
+
+@dataclass
+class ResilienceStats:
+    """Aggregate resilience accounting over one query or batch."""
+
+    retries: int = 0
+    timeouts: int = 0
+    failovers: int = 0
+    shards_failed: int = 0
+    degraded_queries: int = 0
+
+    def absorb(self, outcome: LeafOutcome) -> None:
+        self.retries += outcome.retries
+        self.timeouts += outcome.timeouts
+        self.failovers += outcome.failovers
+        if outcome.failed:
+            self.shards_failed += 1
+
+    def merge(self, other: "ResilienceStats") -> None:
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.failovers += other.failovers
+        self.shards_failed += other.shards_failed
+        self.degraded_queries += other.degraded_queries
+
+
+def execute_leaf(candidates: List, pruned, k: int,
+                 policy: ResiliencePolicy, shard_index: int,
+                 expression: str = "", observer=None) -> LeafOutcome:
+    """Run one pruned sub-query against a shard's replica chain.
+
+    ``candidates`` is the primary engine followed by its replicas.
+    Raises :class:`LeafExecutionError` only when the shard exhausts and
+    the policy forbids degradation; otherwise always returns an outcome
+    (``failed=True`` marks an exhausted shard for the merge to skip).
+    """
+    if not candidates:
+        raise ConfigurationError(f"shard {shard_index} has no engines")
+    outcome = LeafOutcome(shard_index=shard_index)
+    notify = observer if observer is not None and observer.enabled else None
+    started = perf_counter()
+    last_error: Optional[BaseException] = None
+
+    if policy.is_noop and len(candidates) == 1:
+        # Bit-identical pre-resilience fast path: no timing wrapper
+        # beyond the caller's own, failures wrapped and raised.
+        try:
+            attempt_start = perf_counter()
+            outcome.result = candidates[0].search(pruned, k=k)
+            outcome.attempt_seconds = perf_counter() - attempt_start
+            outcome.attempts = 1
+            outcome.elapsed_seconds = perf_counter() - started
+            return outcome
+        except Exception as error:
+            raise LeafExecutionError(
+                f"query {expression!r} failed on shard {shard_index}: "
+                f"{error!r}",
+                shard_index=shard_index, expression=expression,
+            ) from error
+
+    for candidate_index, engine in enumerate(candidates):
+        if candidate_index > 0:
+            outcome.failovers += 1
+            if notify is not None:
+                notify.on_resilience_event("failover", shard_index)
+        for attempt in range(policy.max_retries + 1):
+            if attempt > 0:
+                outcome.retries += 1
+                if notify is not None:
+                    notify.on_resilience_event("retry", shard_index)
+                if policy.backoff_base_seconds > 0:
+                    time.sleep(
+                        policy.backoff_base_seconds
+                        * policy.backoff_multiplier ** (attempt - 1)
+                    )
+            outcome.attempts += 1
+            attempt_start = perf_counter()
+            try:
+                result = engine.search(pruned, k=k)
+            except Exception as error:
+                last_error = error
+                continue
+            attempt_seconds = perf_counter() - attempt_start
+            if (policy.timeout_seconds is not None
+                    and attempt_seconds > policy.timeout_seconds):
+                outcome.timeouts += 1
+                if notify is not None:
+                    notify.on_resilience_event("timeout", shard_index)
+                last_error = LeafExecutionError(
+                    f"shard {shard_index} attempt took "
+                    f"{attempt_seconds:.3f}s "
+                    f"(timeout {policy.timeout_seconds:.3f}s)",
+                    shard_index=shard_index, expression=expression,
+                )
+                continue
+            outcome.result = result
+            outcome.attempt_seconds = attempt_seconds
+            outcome.elapsed_seconds = perf_counter() - started
+            return outcome
+
+    outcome.failed = True
+    outcome.error = repr(last_error) if last_error is not None else None
+    outcome.elapsed_seconds = perf_counter() - started
+    if notify is not None:
+        notify.on_resilience_event("shard_failed", shard_index)
+    if not policy.allow_degraded:
+        raise LeafExecutionError(
+            f"query {expression!r} exhausted shard {shard_index} after "
+            f"{outcome.attempts} attempts across {len(candidates)} "
+            f"replica(s): {outcome.error}",
+            shard_index=shard_index, expression=expression,
+        ) from last_error
+    return outcome
+
+
+def describe_outcomes(outcomes: List[Optional[LeafOutcome]]) -> str:
+    """Multi-line per-shard resilience report (trace CLI helper)."""
+    lines = []
+    for outcome in outcomes:
+        if outcome is None:
+            continue
+        lines.append(outcome.describe())
+    return "\n".join(lines) if lines else "(no shards executed)"

@@ -25,6 +25,12 @@ from repro.core.query import (
     flatten,
     parse_query,
 )
+from repro.cluster.resilience import (
+    STRICT_POLICY,
+    LeafOutcome,
+    ResiliencePolicy,
+    execute_leaf,
+)
 from repro.core.result import ScoredDocument, SearchResult
 from repro.core.topk import DEFAULT_K
 from repro.errors import ConfigurationError
@@ -38,7 +44,8 @@ class ClusterSearchResult:
 
     query: QueryNode
     hits: List[ScoredDocument]
-    #: Per-shard raw results (None where the shard had no query terms).
+    #: Per-shard raw results (None where the shard had no query terms
+    #: — or, when :attr:`shards_failed` names it, failed outright).
     leaf_results: List[Optional[SearchResult]]
     #: Aggregate traffic across all leaves.
     traffic: TrafficCounter = field(default_factory=TrafficCounter)
@@ -48,10 +55,25 @@ class ClusterSearchResult:
     interconnect_bytes: int = 0
     #: Root-side merge comparisons (host CPU work).
     merge_ops: int = 0
+    #: Shard indices that exhausted retry + failover and were skipped.
+    shards_failed: List[int] = field(default_factory=list)
+    #: Leaf retries spent answering this query (across all shards).
+    leaf_retries: int = 0
+    #: Leaf attempts discarded for exceeding the per-attempt timeout.
+    leaf_timeouts: int = 0
+    #: Replica switches performed while answering this query.
+    leaf_failovers: int = 0
+    #: Per-shard resilience outcomes (None on the no-policy path).
+    leaf_outcomes: Optional[List[Optional[LeafOutcome]]] = None
 
     @property
     def shards_touched(self) -> int:
         return sum(1 for r in self.leaf_results if r is not None)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the merge completed without at least one shard."""
+        return bool(self.shards_failed)
 
 
 class SearchCluster:
@@ -61,12 +83,37 @@ class SearchCluster:
     ``search(query, k)`` returning :class:`SearchResult` and an ``index``
     property (BOSS, IIU, or the Lucene model), so the cluster topology
     composes with every engine the library provides.
+
+    ``policy`` configures resilient leaf execution (per-attempt timeout,
+    bounded retry with backoff, failover, graceful degradation — see
+    :mod:`repro.cluster.resilience`). The default
+    :data:`~repro.cluster.resilience.STRICT_POLICY` preserves
+    pre-resilience semantics: one attempt per shard, and a leaf failure
+    raises a :class:`~repro.errors.LeafExecutionError` naming the
+    (query, shard).
+
+    ``replicas`` optionally supplies failover targets: ``replicas[i]``
+    is the ordered list of backup engines for shard ``i`` (typically
+    engines over the same shard index — see
+    :meth:`~repro.cluster.sharding.ShardedCorpus` replication).
     """
 
-    def __init__(self, engines: List, observer=None) -> None:
+    def __init__(self, engines: List, observer=None,
+                 policy: Optional[ResiliencePolicy] = None,
+                 replicas: Optional[List[List]] = None) -> None:
         if not engines:
             raise ConfigurationError("cluster needs at least one leaf")
         self._engines = list(engines)
+        self._policy = STRICT_POLICY if policy is None else policy
+        if replicas is None:
+            self._replicas: List[List] = [[] for _ in self._engines]
+        else:
+            if len(replicas) != len(self._engines):
+                raise ConfigurationError(
+                    f"{len(replicas)} replica lists for "
+                    f"{len(self._engines)} shards"
+                )
+            self._replicas = [list(group) for group in replicas]
         #: Observability hook for the root (leaves carry their own).
         self._observer = (
             observer if observer is not None and observer.enabled else None
@@ -77,9 +124,28 @@ class SearchCluster:
         return len(self._engines)
 
     @property
+    def observer(self):
+        """The root's observability hook (None when disabled)."""
+        return self._observer
+
+    @property
     def engines(self) -> List:
         """The per-shard leaf engines, in shard order."""
         return self._engines
+
+    @property
+    def policy(self) -> ResiliencePolicy:
+        """The resilience policy governing leaf execution."""
+        return self._policy
+
+    @property
+    def replicas(self) -> List[List]:
+        """Per-shard failover engines (empty lists when unreplicated)."""
+        return self._replicas
+
+    def shard_candidates(self, shard_index: int) -> List:
+        """Primary-first engine chain for one shard."""
+        return [self._engines[shard_index]] + self._replicas[shard_index]
 
     def plan(self, query: Union[str, QueryNode]) -> "tuple":
         """Root-side query dissection: per-shard pruned sub-queries.
@@ -97,28 +163,58 @@ class SearchCluster:
 
     def search(self, query: Union[str, QueryNode],
                k: int = DEFAULT_K) -> ClusterSearchResult:
-        """Fan out, execute per shard, merge score-ordered top-k."""
+        """Fan out, execute per shard (resiliently), merge top-k.
+
+        Shards run under the cluster's :class:`ResiliencePolicy`: failed
+        attempts retry with backoff, exhausted primaries fail over to
+        replicas, and — under ``allow_degraded`` — a fully exhausted
+        shard is skipped so the merge still completes (the result's
+        ``shards_failed`` / ``degraded`` report the quality loss).
+        """
         node, per_shard = self.plan(query)
+        expression = str(node)
 
         leaf_results: List[Optional[SearchResult]] = []
-        for engine, pruned in zip(self._engines, per_shard):
+        outcomes: List[Optional[LeafOutcome]] = []
+        for shard_index, pruned in enumerate(per_shard):
             if pruned is None:
                 leaf_results.append(None)
+                outcomes.append(None)
                 continue
-            leaf_results.append(engine.search(pruned, k=k))
-        return self.merge(node, leaf_results, k)
+            outcome = execute_leaf(
+                self.shard_candidates(shard_index), pruned, k,
+                self._policy, shard_index, expression=expression,
+                observer=self._observer,
+            )
+            leaf_results.append(outcome.result)
+            outcomes.append(outcome)
+        return self.merge(node, leaf_results, k, outcomes=outcomes)
 
     def merge(self, node: QueryNode,
               leaf_results: List[Optional[SearchResult]],
-              k: int = DEFAULT_K) -> ClusterSearchResult:
+              k: int = DEFAULT_K,
+              outcomes: Optional[List[Optional[LeafOutcome]]] = None,
+              ) -> ClusterSearchResult:
         """Root-side merge of per-shard results (deterministic).
 
         ``leaf_results`` must be in shard order; merge order is then
         independent of the execution order of the shards, so the batch
         driver's parallel runs produce bit-identical merged results.
+        ``outcomes`` (when the resilient path ran) attributes failed
+        shards and retry/timeout/failover counts to the merged result.
         """
         merged = ClusterSearchResult(query=node, hits=[],
                                      leaf_results=leaf_results)
+        if outcomes is not None:
+            merged.leaf_outcomes = outcomes
+            for outcome in outcomes:
+                if outcome is None:
+                    continue
+                merged.leaf_retries += outcome.retries
+                merged.leaf_timeouts += outcome.timeouts
+                merged.leaf_failovers += outcome.failovers
+                if outcome.failed:
+                    merged.shards_failed.append(outcome.shard_index)
         candidates: List[ScoredDocument] = []
         for result in leaf_results:
             if result is None:

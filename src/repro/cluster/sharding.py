@@ -26,21 +26,56 @@ from repro.index.index import InvertedIndex
 
 
 class ShardedCorpus:
-    """A document collection split into docID-interval shards."""
+    """A document collection split into docID-interval shards.
+
+    ``replication_factor`` models serving replication: each shard's
+    index is held by that many leaf nodes (1 = unreplicated). Shard
+    indexes are read-only once built, so replicas share the index
+    object — what replication buys is *engine* redundancy (independent
+    leaves the root can fail over between), which is exactly what
+    :meth:`replica_indexes` feeds.
+    """
 
     def __init__(self, indexes: Sequence[InvertedIndex],
-                 boundaries: Sequence[int]) -> None:
+                 boundaries: Sequence[int],
+                 replication_factor: int = 1) -> None:
         if len(boundaries) != len(indexes) + 1:
             raise ConfigurationError(
                 "boundaries must bracket every shard"
             )
+        if replication_factor < 1:
+            raise ConfigurationError(
+                f"replication factor must be >= 1, got {replication_factor}"
+            )
         self.indexes = list(indexes)
         #: ``boundaries[i] .. boundaries[i+1]-1`` is shard i's interval.
         self.boundaries = list(boundaries)
+        #: Leaf nodes holding each shard (1 = no replicas).
+        self.replication_factor = replication_factor
 
     @property
     def num_shards(self) -> int:
         return len(self.indexes)
+
+    @property
+    def num_leaf_nodes(self) -> int:
+        """Total leaf nodes the deployment needs (shards x replicas)."""
+        return self.num_shards * self.replication_factor
+
+    def replica_indexes(self, shard_index: int) -> List[InvertedIndex]:
+        """The *backup* copies of one shard's index.
+
+        Returns ``replication_factor - 1`` entries (the primary is not
+        repeated) — build one engine per entry and hand the per-shard
+        lists to :class:`~repro.cluster.root.SearchCluster` as
+        ``replicas``.
+        """
+        if not 0 <= shard_index < self.num_shards:
+            raise ConfigurationError(f"no shard {shard_index}")
+        return [
+            self.indexes[shard_index]
+            for _ in range(self.replication_factor - 1)
+        ]
 
     def shard_of(self, doc_id: int) -> int:
         """Index of the shard holding ``doc_id``."""
@@ -52,12 +87,15 @@ class ShardedCorpus:
 
 def shard_documents(documents: Iterable[Sequence[str]], num_shards: int,
                     params: BM25Parameters = BM25Parameters(),
-                    schemes: Optional[Sequence[str]] = None) -> ShardedCorpus:
+                    schemes: Optional[Sequence[str]] = None,
+                    replication_factor: int = 1) -> ShardedCorpus:
     """Index ``documents`` into ``num_shards`` docID-interval shards.
 
     Pass 1 computes the corpus-global statistics (document lengths and
     term dfs — the root's bookkeeping); pass 2 builds one index per
     contiguous docID interval, each seeded with those global statistics.
+    ``replication_factor`` marks how many leaf nodes serve each shard
+    (see :class:`ShardedCorpus`); the index is built once per shard.
     """
     if num_shards <= 0:
         raise ConfigurationError("need at least one shard")
@@ -93,4 +131,5 @@ def shard_documents(documents: Iterable[Sequence[str]], num_shards: int,
         indexes.append(builder.build())
         boundaries.append(end)
         base = end
-    return ShardedCorpus(indexes, boundaries)
+    return ShardedCorpus(indexes, boundaries,
+                         replication_factor=replication_factor)

@@ -41,5 +41,33 @@ class SimulationError(ReproError):
     """The performance model reached an inconsistent state."""
 
 
+class FaultInjectionError(ReproError):
+    """A deterministic injected leaf fault (transient or permanent).
+
+    Raised only by :mod:`repro.faults` wrappers, never by real execution
+    paths — catching it distinguishes injected failures from genuine
+    bugs in fault-tolerance tests. ``kind`` is ``"transient"`` or
+    ``"permanent"``.
+    """
+
+    def __init__(self, message: str, kind: str = "transient") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+class LeafExecutionError(ReproError):
+    """A cluster leaf failed (or exhausted its retry/failover budget).
+
+    Names the failing ``(query, shard)`` so a batch abort is actionable;
+    the original leaf exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, shard_index: int = -1,
+                 expression: str = "") -> None:
+        super().__init__(message)
+        self.shard_index = shard_index
+        self.expression = expression
+
+
 # Public alias: the name users should import.
 InvertedIndexError = IndexError_

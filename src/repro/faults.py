@@ -1,0 +1,347 @@
+"""Deterministic, seeded fault injection for cluster leaf engines.
+
+Production deployments of the paper's Figure 1(b) topology lose leaves,
+see latency spikes, and serve from corrupted media; this module lets the
+reproduction study those regimes *deterministically*. A
+:class:`FaultyEngine` wraps any leaf engine (BOSS, IIU, Lucene model)
+and injects, per logical query:
+
+* **latency spikes** — the attempt completes but takes an extra
+  configurable wall-clock delay (drives the cluster's per-leaf timeout);
+* **transient failures** — the first ``transient_failure_attempts``
+  attempts of an afflicted query raise
+  :class:`~repro.errors.FaultInjectionError`, then the query succeeds
+  (drives the retry path);
+* **permanent leaf death** — after ``permanent_failure_after`` logical
+  queries every attempt raises (drives failover and degradation);
+* **payload corruption** — an afflicted query decodes a *truncated*
+  copy of a real compressed block payload through the leaf's own codec,
+  raising the strict :class:`~repro.errors.CompressionError` the codecs
+  guarantee on malformed input; corruption persists across attempts
+  (the bytes on media stay bad), so only failover to a replica cures it.
+
+Every decision is a pure function of ``(seed, shard_id, query key)`` —
+repeated runs, and retries of the same query, see the same schedule.
+The zero-fault configuration (:meth:`FaultConfig.zero_fault`) is a pure
+pass-through: ``search()`` delegates directly with no RNG draws, no
+sleeps, and no bookkeeping, so results are bit-identical to the
+unwrapped engine (pinned by the differential suite).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import (
+    CompressionError,
+    ConfigurationError,
+    FaultInjectionError,
+)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Seeded fault schedule for one wrapped leaf engine.
+
+    Probabilities are per *logical query* (retries of the same query
+    re-evaluate the same draw, not a fresh one). All fields default to
+    the zero-fault configuration.
+    """
+
+    seed: int = 0
+    #: P(an afflicted query completes but sleeps ``latency_spike_seconds``).
+    latency_spike_probability: float = 0.0
+    latency_spike_seconds: float = 0.0
+    #: P(a query's first attempts raise a transient fault).
+    transient_failure_probability: float = 0.0
+    #: How many attempts of an afflicted query fail before succeeding.
+    transient_failure_attempts: int = 1
+    #: Logical queries after which the leaf dies for good (None = never).
+    permanent_failure_after: Optional[int] = None
+    #: P(a query hits a corrupted compressed payload — persistent).
+    corruption_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("latency_spike_probability",
+                     "transient_failure_probability",
+                     "corruption_probability"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {p}"
+                )
+        if self.latency_spike_seconds < 0:
+            raise ConfigurationError("latency spike must be >= 0 seconds")
+        if self.transient_failure_attempts < 1:
+            raise ConfigurationError(
+                "transient faults must fail at least one attempt"
+            )
+        if (self.permanent_failure_after is not None
+                and self.permanent_failure_after < 0):
+            raise ConfigurationError(
+                "permanent_failure_after must be >= 0 (or None)"
+            )
+
+    @property
+    def zero_fault(self) -> bool:
+        """True when this schedule can never perturb execution."""
+        return (
+            self.latency_spike_probability == 0.0
+            and self.transient_failure_probability == 0.0
+            and self.corruption_probability == 0.0
+            and self.permanent_failure_after is None
+        )
+
+
+#: The guaranteed-pass-through schedule.
+ZERO_FAULTS = FaultConfig()
+
+
+@dataclass
+class FaultStats:
+    """What a :class:`FaultyEngine` actually injected."""
+
+    latency_spikes: int = 0
+    transient_failures: int = 0
+    permanent_failures: int = 0
+    corruptions: int = 0
+    #: Logical (first-attempt) queries seen.
+    queries: int = 0
+    #: Total search() attempts, including retries.
+    attempts: int = 0
+
+    @property
+    def total_faults(self) -> int:
+        return (self.transient_failures + self.permanent_failures
+                + self.corruptions)
+
+
+class FaultyEngine:
+    """A leaf engine wrapper that injects a deterministic fault schedule.
+
+    Exposes the same duck-typed surface the cluster relies on
+    (``search(query, k)`` plus attribute delegation for ``index``,
+    ``observer``, ``config``, ...), so it can stand wherever a real
+    engine does.
+    """
+
+    def __init__(self, engine, faults: FaultConfig = ZERO_FAULTS,
+                 shard_id: int = 0) -> None:
+        self._engine = engine
+        self._faults = faults
+        self.shard_id = shard_id
+        self.stats = FaultStats()
+        #: Attempt count per logical-query key (retries re-key here).
+        self._attempts_by_key: dict = {}
+
+    @property
+    def engine(self):
+        """The wrapped leaf engine."""
+        return self._engine
+
+    @property
+    def faults(self) -> FaultConfig:
+        return self._faults
+
+    def __getattr__(self, name):
+        # Everything the wrapper does not define delegates to the leaf
+        # (index, observer, decoded_cache, config, ...).
+        return getattr(self._engine, name)
+
+    # ------------------------------------------------------------------
+    # Fault schedule
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _query_key(query) -> str:
+        return query if isinstance(query, str) else str(query)
+
+    def _draws(self, key: str) -> tuple:
+        """The (spike, transient, corrupt) decisions for one query key.
+
+        Uses a CRC32 of the key (stable across processes, unlike
+        ``hash()``) mixed with the seed and shard id, so the schedule is
+        reproducible and independent of arrival order.
+        """
+        faults = self._faults
+        rng = random.Random(
+            f"{faults.seed}:{self.shard_id}:{zlib.crc32(key.encode('utf-8'))}"
+        )
+        spike = rng.random() < faults.latency_spike_probability
+        transient = rng.random() < faults.transient_failure_probability
+        corrupt = rng.random() < faults.corruption_probability
+        return spike, transient, corrupt
+
+    def would_fault(self, query) -> bool:
+        """Whether ``query`` is on the (non-permanent) fault schedule."""
+        if self._faults.zero_fault:
+            return False
+        _spike, transient, corrupt = self._draws(self._query_key(query))
+        return transient or corrupt
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def search(self, query, k: Optional[int] = None):
+        if self._faults.zero_fault:
+            return self._engine.search(query, k=k)
+
+        key = self._query_key(query)
+        attempt = self._attempts_by_key.get(key, 0)
+        self._attempts_by_key[key] = attempt + 1
+        self.stats.attempts += 1
+        if attempt == 0:
+            self.stats.queries += 1
+
+        faults = self._faults
+        if (faults.permanent_failure_after is not None
+                and self.stats.queries > faults.permanent_failure_after):
+            self.stats.permanent_failures += 1
+            raise FaultInjectionError(
+                f"shard {self.shard_id}: leaf is dead (died after "
+                f"{faults.permanent_failure_after} queries)",
+                kind="permanent",
+            )
+
+        spike, transient, corrupt = self._draws(key)
+        if corrupt:
+            self.stats.corruptions += 1
+            self._raise_corrupted(query)
+        if transient and attempt < faults.transient_failure_attempts:
+            self.stats.transient_failures += 1
+            raise FaultInjectionError(
+                f"shard {self.shard_id}: transient failure on "
+                f"{key!r} (attempt {attempt + 1})",
+                kind="transient",
+            )
+        if spike and faults.latency_spike_seconds > 0:
+            self.stats.latency_spikes += 1
+            time.sleep(faults.latency_spike_seconds)
+        return self._engine.search(query, k=k)
+
+    def _raise_corrupted(self, query) -> None:
+        """Decode a truncated real payload through the leaf's codec.
+
+        Exercises the codecs' strict malformed-input paths: the first
+        query term's first block payload is cut short and fed back to
+        the scheme's own decoder, which must raise
+        :class:`CompressionError`. If the truncation happens to still
+        parse, the injection raises explicitly — corruption is part of
+        the schedule either way.
+        """
+        term = self._pick_term(query)
+        if term is not None:
+            plist = self._engine.index.posting_list(term)
+            block = plist.blocks[0]
+            payload = block.doc_payload
+            truncated = payload[:max(0, len(payload) - 1)]
+            try:
+                plist.codec.decode_block(truncated, block.metadata.count)
+            except CompressionError as error:
+                raise CompressionError(
+                    f"shard {self.shard_id}: corrupted payload for term "
+                    f"{term!r} block 0: {error}"
+                ) from error
+        raise CompressionError(
+            f"shard {self.shard_id}: corrupted payload for query "
+            f"{self._query_key(query)!r}"
+        )
+
+    def _pick_term(self, query) -> Optional[str]:
+        terms = (
+            query.terms() if hasattr(query, "terms") else None
+        )
+        if terms is None:
+            from repro.core.query import parse_query
+
+            try:
+                terms = parse_query(query).terms()
+            except Exception:
+                return None
+        index = self._engine.index
+        for term in terms:
+            if term in index and index.posting_list(term).blocks:
+                return term
+        return None
+
+
+def wrap_shards(engines, faults: Union[FaultConfig, list, tuple],
+                ) -> list:
+    """Wrap a cluster's leaf engines in :class:`FaultyEngine` instances.
+
+    ``faults`` is one :class:`FaultConfig` applied to every shard, or a
+    per-shard sequence where ``None`` entries get the zero-fault
+    schedule. Shard ids follow list order, matching cluster indices.
+    """
+    if isinstance(faults, FaultConfig):
+        faults = [faults] * len(engines)
+    if len(faults) != len(engines):
+        raise ConfigurationError(
+            f"{len(faults)} fault configs for {len(engines)} shards"
+        )
+    return [
+        FaultyEngine(engine, config if config is not None else ZERO_FAULTS,
+                     shard_id=i)
+        for i, (engine, config) in enumerate(zip(engines, faults))
+    ]
+
+
+def make_faulty_cluster(documents, num_shards: int, *,
+                        faults: Union[FaultConfig, list, tuple] = ZERO_FAULTS,
+                        policy=None, replication_factor: int = 1,
+                        k: int = 10, observer=None,
+                        replica_faults: Optional[FaultConfig] = None):
+    """Build a fault-injected, resilient cluster over ``documents``.
+
+    The shared assembly behind the fault-tolerance benchmark, the CLI's
+    cluster modes, and the fault-matrix tests: shard the documents
+    (building each shard index once), stand up one BOSS engine per
+    shard wrapped in a :class:`FaultyEngine`, and give every shard
+    ``replication_factor - 1`` replica engines over the *same* shard
+    index — each replica with its own fault-schedule stream, so a
+    primary's corruption does not afflict its backups. ``faults`` is
+    one config for every shard or a per-shard list; ``replica_faults``
+    overrides the replicas' schedule (e.g. ``ZERO_FAULTS`` to study
+    failover out of a dying primary).
+
+    Returns ``(cluster, sharded_corpus)``.
+    """
+    from repro.cluster.root import SearchCluster
+    from repro.cluster.sharding import shard_documents
+    from repro.core.engine import BossAccelerator, BossConfig
+
+    sharded = shard_documents(documents, num_shards,
+                              replication_factor=replication_factor)
+    if isinstance(faults, FaultConfig):
+        per_shard = [faults] * sharded.num_shards
+    else:
+        per_shard = [
+            config if config is not None else ZERO_FAULTS
+            for config in faults
+        ]
+    config = BossConfig(k=k)
+    primaries = wrap_shards(
+        [BossAccelerator(index, config) for index in sharded.indexes],
+        per_shard,
+    )
+    replicas = []
+    for shard_index in range(sharded.num_shards):
+        group = []
+        for rank, index in enumerate(sharded.replica_indexes(shard_index)):
+            group.append(FaultyEngine(
+                BossAccelerator(index, config),
+                (replica_faults if replica_faults is not None
+                 else per_shard[shard_index]),
+                # Distinct stream per replica: same schedule *shape*,
+                # independent draws from the primary's.
+                shard_id=(rank + 1) * sharded.num_shards + shard_index,
+            ))
+        replicas.append(group)
+    cluster = SearchCluster(primaries, observer=observer, policy=policy,
+                            replicas=replicas)
+    return cluster, sharded

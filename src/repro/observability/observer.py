@@ -66,6 +66,13 @@ class Observer:
     def on_cluster_complete(self, cluster_result) -> None:
         """The root merged one fanned-out query."""
 
+    def on_resilience_event(self, event: str, shard_index: int) -> None:
+        """Resilient leaf execution took a recovery step.
+
+        ``event`` is one of ``"retry"``, ``"timeout"``, ``"failover"``,
+        ``"shard_failed"`` (see :mod:`repro.cluster.resilience`).
+        """
+
 
 #: Shared do-nothing observer; the default everywhere.
 NULL_OBSERVER = Observer()
@@ -198,6 +205,21 @@ class RecordingObserver(Observer):
         self.registry.counter(
             "cluster.interconnect_bytes", "leaf->root result bytes"
         ).inc(cluster_result.interconnect_bytes)
+        if getattr(cluster_result, "degraded", False):
+            self.registry.counter(
+                "cluster.degraded_queries",
+                "merges that completed without a failed shard",
+            ).inc()
+            self.registry.counter(
+                "cluster.shards_failed",
+                "shards skipped after exhausting retry + failover",
+            ).inc(len(cluster_result.shards_failed))
+
+    def on_resilience_event(self, event: str, shard_index: int) -> None:
+        self.registry.counter(
+            "cluster.resilience_events",
+            "leaf recovery steps (retry/timeout/failover/shard_failed)",
+        ).inc(event=event, shard=str(shard_index))
 
     # ------------------------------------------------------------------
     # Registry publication

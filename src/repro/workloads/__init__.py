@@ -11,7 +11,12 @@ Substitutes for the paper's proprietary/full-scale inputs (see DESIGN.md):
   the paper's Table II query mix (Q1–Q6).
 """
 
-from repro.workloads.corpus import CorpusSpec, SyntheticCorpus, make_corpus
+from repro.workloads.corpus import (
+    CorpusSpec,
+    SyntheticCorpus,
+    make_corpus,
+    synthetic_documents,
+)
 from repro.workloads.queries import QuerySampler, QuerySet
 from repro.workloads.synthetic import (
     SYNTHETIC_STREAMS,
@@ -25,6 +30,7 @@ __all__ = [
     "CorpusSpec",
     "SyntheticCorpus",
     "make_corpus",
+    "synthetic_documents",
     "QuerySampler",
     "QuerySet",
     "SYNTHETIC_STREAMS",

@@ -225,3 +225,29 @@ def make_corpus(preset: str, scale: float = 1.0,
         seed=base.seed if seed is None else seed,
     )
     return SyntheticCorpus(spec, schemes=schemes)
+
+
+def synthetic_documents(num_docs: int = 1000, vocab_size: int = 40,
+                        seed: int = 0) -> List[List[str]]:
+    """Seeded token-list documents with exponential term popularity.
+
+    The *document-level* counterpart of :class:`SyntheticCorpus` (which
+    synthesizes posting lists directly and therefore cannot be
+    re-sharded): cluster workloads need actual documents so
+    :func:`repro.cluster.sharding.shard_documents` can split them into
+    docID intervals with corpus-global statistics. Vocabulary is
+    ``t0 ... t{vocab_size-1}`` with ``t0`` most popular.
+    """
+    if num_docs < 1 or vocab_size < 8:
+        raise ConfigurationError(
+            "need at least 1 document and 8 vocabulary terms"
+        )
+    import random as _random
+
+    rng = _random.Random(seed)
+    words = [f"t{i}" for i in range(vocab_size)]
+    return [
+        [words[min(vocab_size - 1, int(rng.expovariate(0.12)))]
+         for _ in range(rng.randrange(5, 40))]
+        for _ in range(num_docs)
+    ]

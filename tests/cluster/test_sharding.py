@@ -75,6 +75,35 @@ class TestStructure:
         assert len(idfs) == 1
 
 
+class TestReplication:
+    def test_default_is_unreplicated(self, sharded):
+        assert sharded.replication_factor == 1
+        assert sharded.num_leaf_nodes == 3
+        assert sharded.replica_indexes(0) == []
+
+    def test_replicas_share_the_built_index(self):
+        sharded = shard_documents(_documents(60), num_shards=2,
+                                  replication_factor=3)
+        assert sharded.num_leaf_nodes == 6
+        for shard in range(2):
+            replicas = sharded.replica_indexes(shard)
+            assert len(replicas) == 2
+            # Read-only indexes are shared, not copied: replication is
+            # engine redundancy, not data duplication.
+            assert all(r is sharded.indexes[shard] for r in replicas)
+
+    def test_replica_indexes_validates_shard(self, sharded):
+        with pytest.raises(ConfigurationError):
+            sharded.replica_indexes(3)
+        with pytest.raises(ConfigurationError):
+            sharded.replica_indexes(-1)
+
+    def test_replication_factor_validated(self):
+        with pytest.raises(ConfigurationError):
+            shard_documents(_documents(30), num_shards=2,
+                            replication_factor=0)
+
+
 class TestValidation:
     def test_zero_shards_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -124,6 +124,91 @@ class TestClusterBatch:
         assert all(s >= 0 for s in batch.report.per_query_seconds)
 
 
+class TestPercentiles:
+    def test_empty_sample_yields_zero(self):
+        from repro.batch import _percentile
+
+        assert _percentile([], 0.50) == 0.0
+        assert _percentile([], 0.99) == 0.0
+
+    def test_empty_report_renders(self):
+        report = BatchReport(num_queries=0, workers=1, wall_seconds=0.0,
+                             per_query_seconds=[])
+        assert report.p50_seconds == 0.0
+        assert report.p99_seconds == 0.0
+        assert report.degraded_fraction == 0.0
+        assert report.to_dict()["p99_seconds"] == 0.0
+
+    def test_percentiles_are_ordered(self):
+        report = BatchReport(num_queries=100, workers=1, wall_seconds=1.0,
+                             per_query_seconds=[i / 100 for i in range(100)])
+        assert report.p50_seconds <= report.p95_seconds <= report.p99_seconds
+        assert report.p99_seconds == 0.98  # nearest rank of 100 samples
+
+
+class TestResilientClusterBatch:
+    """The batch driver under injected faults (see tests/test_faults.py)."""
+
+    QUERIES = ['"t0"', '"t1" AND "t3"', '"t2" OR "t5"',
+               '"t1" OR "t4" OR "t7"']
+
+    @pytest.fixture(scope="class")
+    def documents(self):
+        from repro.workloads import synthetic_documents
+
+        return synthetic_documents(num_docs=500, seed=29)
+
+    def test_degraded_queries_counted(self, documents):
+        from repro.cluster.resilience import ResiliencePolicy
+        from repro.faults import ZERO_FAULTS, FaultConfig, make_faulty_cluster
+
+        faults = [FaultConfig(permanent_failure_after=0), ZERO_FAULTS,
+                  ZERO_FAULTS]
+        cluster, _ = make_faulty_cluster(
+            documents, 3, faults=faults,
+            policy=ResiliencePolicy(allow_degraded=True),
+        )
+        batch = run_query_batch(cluster, self.QUERIES, k=10, workers=4)
+        assert batch.report.queries_degraded == len(self.QUERIES)
+        assert batch.report.degraded_fraction == 1.0
+        assert all(r.shards_failed == [0] for r in batch.results)
+
+    def test_batch_matches_serial_under_faults(self, documents):
+        from repro.cluster.resilience import ResiliencePolicy
+        from repro.faults import FaultConfig, make_faulty_cluster
+
+        faults = FaultConfig(seed=4, transient_failure_probability=0.5)
+        policy = ResiliencePolicy(max_retries=2, allow_degraded=True)
+        batched_cluster, _ = make_faulty_cluster(documents, 3,
+                                                 faults=faults,
+                                                 policy=policy)
+        serial_cluster, _ = make_faulty_cluster(documents, 3,
+                                                faults=faults,
+                                                policy=policy)
+        batch = run_query_batch(batched_cluster, self.QUERIES, k=10,
+                                workers=4)
+        serial = [serial_cluster.search(q, k=10) for q in self.QUERIES]
+        for batched, expected in zip(batch.results, serial):
+            assert hits_as_pairs(batched) == hits_as_pairs(expected)
+            assert batched.leaf_retries == expected.leaf_retries
+            assert batched.shards_failed == expected.shards_failed
+
+    def test_leaf_failure_aborts_with_named_query_and_shard(self,
+                                                            documents):
+        from repro.errors import LeafExecutionError
+        from repro.faults import ZERO_FAULTS, FaultConfig, make_faulty_cluster
+
+        faults = [ZERO_FAULTS, FaultConfig(permanent_failure_after=0),
+                  ZERO_FAULTS]
+        # Default policy: strict, failures propagate instead of degrading.
+        cluster, _ = make_faulty_cluster(documents, 3, faults=faults)
+        with pytest.raises(LeafExecutionError) as exc:
+            run_query_batch(cluster, self.QUERIES, k=10, workers=4)
+        assert exc.value.shard_index == 1
+        assert exc.value.expression  # the failing query is named
+        assert "shard 1" in str(exc.value)
+
+
 class TestSessionBatch:
     def test_search_batch_matches_search(self):
         from repro.api import BossSession

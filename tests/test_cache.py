@@ -51,6 +51,36 @@ class TestLRUBlockCache:
         with pytest.raises(ConfigurationError):
             LRUBlockCache(10).access("a", 0, -1)
 
+    # Regression: a hit whose size differs from the stored one must
+    # update the byte accounting, or used_bytes drifts from reality and
+    # the capacity LRU over/under-evicts forever after.
+    def test_hit_updates_stored_size(self):
+        cache = LRUBlockCache(1024)
+        cache.access("a", 0, 60)
+        assert cache.used_bytes == 60
+        assert cache.access("a", 0, 90)  # hit, re-observed larger
+        assert cache.used_bytes == 90
+        assert cache.access("a", 0, 40)  # hit, re-observed smaller
+        assert cache.used_bytes == 40
+        assert cache.num_blocks == 1
+
+    def test_growth_on_hit_evicts_to_capacity(self):
+        cache = LRUBlockCache(200)
+        cache.access("a", 0, 100)
+        cache.access("b", 0, 100)
+        assert cache.access("b", 0, 150)  # grows -> a (LRU) must go
+        assert cache.used_bytes == 150
+        assert cache.access("b", 0, 150)  # b survived its own growth
+        assert not cache.access("a", 0, 100)  # evicted
+
+    def test_hit_growing_past_capacity_uncaches_entry(self):
+        cache = LRUBlockCache(100)
+        cache.access("a", 0, 50)
+        assert cache.access("a", 0, 120)  # hit, but now uncacheable
+        assert cache.used_bytes == 0
+        assert cache.num_blocks == 0
+        assert not cache.access("a", 0, 120)  # gone, same as oversized
+
 
 class TestDecodedBlockCache:
     def test_miss_then_hit_returns_same_object(self):

@@ -184,3 +184,61 @@ class TestValidate:
         bad = tmp_path / "bad.boss"
         bad.write_bytes(b"garbage")
         assert main(["validate", "--index", str(bad)]) == 2
+
+
+class TestClusterModes:
+    """bench/trace --shards: fault-injected resilient cluster modes."""
+
+    def test_bench_cluster_reports_resilience(self, capsys):
+        assert main(["bench", "--shards", "2", "--cluster-docs", "150",
+                     "--queries", "6", "--fault-rate", "0.3",
+                     "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fault rate 0.3" in out
+        assert "degraded" in out and "p99 (ms)" in out
+
+    def test_bench_cluster_json_parses(self, capsys):
+        import json
+
+        assert main(["bench", "--shards", "2", "--cluster-docs", "150",
+                     "--queries", "6", "--workers", "1", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["shards"] == 2
+        for passed in record["passes"]:
+            assert passed["queries_degraded"] == 0  # zero-fault run
+            assert "leaf_retries" in passed
+            assert "p99_seconds" in passed
+
+    def test_bench_rejects_index_with_shards(self, tmp_path):
+        assert main(["bench", "--shards", "2",
+                     "--index", str(tmp_path / "x.boss")]) == 2
+
+    def test_trace_cluster_kill_shard_degrades(self, capsys):
+        assert main(["trace", "--shards", "2", "--cluster-docs", "150",
+                     "--kill-shard", "0", "--query", '"t0" OR "t1"']) == 0
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out
+        assert "failed shards: [0]" in out
+        assert "shard 1: ok" in out
+
+    def test_trace_cluster_failover_with_replica(self, capsys):
+        assert main(["trace", "--shards", "2", "--cluster-docs", "150",
+                     "--kill-shard", "0", "--replication", "2",
+                     "--query", '"t0" OR "t1"']) == 0
+        out = capsys.readouterr().out
+        assert "DEGRADED" not in out
+        assert "failovers=1" in out
+
+    def test_trace_cluster_json_parses(self, capsys):
+        import json
+
+        assert main(["trace", "--shards", "2", "--cluster-docs", "150",
+                     "--kill-shard", "0", "--query", '"t0"',
+                     "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["shards_failed"] == [0]
+        assert record["degraded"] is True
+        assert any(o["failed"] for o in record["leaves"])
+
+    def test_trace_requires_index_or_shards(self):
+        assert main(["trace", "--query", '"t0"']) == 2
