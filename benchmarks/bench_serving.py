@@ -1,0 +1,250 @@
+#!/usr/bin/env python
+"""Serving benchmark: latency-throughput curves under open-loop load.
+
+Drives the admission-controlled query server (:mod:`repro.serving`)
+with seeded Poisson arrivals over a Zipf query log, sweeping offered
+load from well below to well above the measured service capacity.
+Because the load is open loop, the sweep exposes what a closed-loop
+batch never can: queue growth, deadline violations, and load shedding
+past the saturation knee.
+
+Two sections:
+
+* **offered-load sweep** — offered rate as a fraction of the
+  calibrated capacity (``workers / mean service time``), one run per
+  point with the *same* arrival seed (Poisson timelines at different
+  rates are exact time-rescalings of each other, so every point
+  replays the same traffic shape). Reports p50/p95/p99 latency, queue
+  depth, shed rate, and achieved throughput;
+* **admission-policy comparison** — the three policies (``reject``,
+  ``shed-oldest``, ``deadline``) at a fixed overload, showing how each
+  spends the same shortage differently.
+
+The **knee** is located as the last sweep point that still keeps
+achieved throughput within 90% of offered, sheds at most 1% of
+requests, and holds p99 latency under 5x the lightest point's p99.
+Results are written as JSON (default: ``BENCH_pr4.json`` at the repo
+root) so CI can archive the trajectory; nothing is gated on them.
+
+Usage::
+
+    python benchmarks/bench_serving.py           # full sweep
+    python benchmarks/bench_serving.py --smoke   # CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.batch import run_query_batch  # noqa: E402
+from repro.core import BossAccelerator, BossConfig  # noqa: E402
+from repro.serving import (  # noqa: E402
+    QueryServer,
+    ServingConfig,
+    zipf_workload,
+)
+from repro.workloads import make_corpus  # noqa: E402
+
+_REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+_DEFAULT_OUT = os.path.join(_REPO_ROOT, "BENCH_pr4.json")
+
+#: Offered load as fractions of the calibrated service capacity.
+SWEEP_FRACTIONS = (0.25, 0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 2.0)
+SMOKE_FRACTIONS = (0.5, 1.0, 2.0)
+
+#: Knee criteria (see module docstring).
+KNEE_MIN_GOODPUT = 0.90
+KNEE_MAX_SHED = 0.01
+KNEE_MAX_P99_BLOWUP = 5.0
+
+
+def calibrate(engine, vocab, *, queries, unique, k, seed) -> float:
+    """Warm the engine and measure the mean per-query service time."""
+    expressions = [
+        r.expression
+        for r in zipf_workload(vocab, queries, rate_qps=1.0,
+                               unique_queries=unique, seed=seed)
+    ]
+    run_query_batch(engine, expressions, k=k, workers=1)  # warm caches
+    report = run_query_batch(engine, expressions, k=k, workers=1).report
+    return sum(report.per_query_seconds) / len(report.per_query_seconds)
+
+
+def run_point(engine, vocab, *, rate, queries, unique, config,
+              seed, label="") -> dict:
+    requests = zipf_workload(vocab, queries, rate_qps=rate,
+                             unique_queries=unique, seed=seed)
+    report = QueryServer(engine, config).serve(requests).report
+    return {
+        "label": label,
+        "target_qps": round(rate, 2),
+        "offered_qps": round(report.offered_qps, 2),
+        "achieved_qps": round(report.achieved_qps, 2),
+        "goodput_fraction": round(
+            report.achieved_qps / report.offered_qps, 4
+        ) if report.offered_qps else 0.0,
+        "shed_fraction": round(report.shed_fraction, 4),
+        "shed_by_reason": dict(report.shed_by_reason),
+        "p50_ms": round(report.p50_latency_seconds * 1e3, 4),
+        "p95_ms": round(report.p95_latency_seconds * 1e3, 4),
+        "p99_ms": round(report.p99_latency_seconds * 1e3, 4),
+        "mean_queue_wait_ms": round(
+            report.mean_queue_wait_seconds * 1e3, 4
+        ),
+        "mean_queue_depth": round(report.mean_queue_depth, 3),
+        "max_queue_depth": report.max_queue_depth,
+        "slo_attained": report.slo_attained,
+        "slo_violated": report.slo_violated,
+    }
+
+
+def locate_knee(points) -> dict:
+    """Last sweep point that still meets all three knee criteria."""
+    baseline_p99 = points[0]["p99_ms"] or 1e-9
+    knee = None
+    for point in points:
+        healthy = (
+            point["goodput_fraction"] >= KNEE_MIN_GOODPUT
+            and point["shed_fraction"] <= KNEE_MAX_SHED
+            and point["p99_ms"] <= KNEE_MAX_P99_BLOWUP * baseline_p99
+        )
+        if healthy:
+            knee = point
+        else:
+            break
+    return {
+        "criteria": {
+            "min_goodput": KNEE_MIN_GOODPUT,
+            "max_shed_fraction": KNEE_MAX_SHED,
+            "max_p99_over_baseline": KNEE_MAX_P99_BLOWUP,
+        },
+        "knee_qps": knee["target_qps"] if knee else None,
+        "knee_label": knee["label"] if knee else None,
+    }
+
+
+def _print_points(title: str, points) -> None:
+    print(f"\n== {title} ==")
+    print(f"{'point':<22}{'offered':>9}{'achieved':>9}{'p50 ms':>9}"
+          f"{'p99 ms':>9}{'depth':>7}{'shed':>8}")
+    for point in points:
+        print(f"{point['label']:<22}{point['offered_qps']:>9}"
+              f"{point['achieved_qps']:>9}{point['p50_ms']:>9}"
+              f"{point['p99_ms']:>9}{point['max_queue_depth']:>7}"
+              f"{point['shed_fraction']:>7.1%}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", default="ccnews-like",
+                        help="corpus preset for make_corpus")
+    parser.add_argument("--scale", type=float, default=0.3,
+                        help="corpus scale factor")
+    parser.add_argument("--queries", type=int, default=400,
+                        help="requests per sweep point")
+    parser.add_argument("--unique", type=int, default=48,
+                        help="unique queries in the Zipf log")
+    parser.add_argument("-k", type=int, default=10)
+    parser.add_argument("--workers", type=int, default=4,
+                        help="logical serving workers")
+    parser.add_argument("--queue", type=int, default=32,
+                        help="admission queue capacity")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--out", default=_DEFAULT_OUT,
+                        help="JSON output path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer queries/points)")
+    args = parser.parse_args(argv)
+
+    fractions = SWEEP_FRACTIONS
+    if args.smoke:
+        args.scale = min(args.scale, 0.1)
+        args.queries = min(args.queries, 80)
+        args.unique = min(args.unique, 16)
+        fractions = SMOKE_FRACTIONS
+
+    print(f"building corpus {args.preset} x{args.scale:g} ...")
+    corpus = make_corpus(args.preset, scale=args.scale)
+    engine = BossAccelerator(corpus.index, BossConfig(k=args.k))
+    vocab = corpus.terms_by_df()
+
+    mean_service = calibrate(engine, vocab, queries=args.queries,
+                             unique=args.unique, k=args.k, seed=args.seed)
+    capacity_qps = args.workers / mean_service
+    print(f"calibrated: mean service {mean_service * 1e3:.3f} ms, "
+          f"capacity ~ {capacity_qps:.0f} qps with {args.workers} workers")
+
+    # Offered-load sweep: deadline at 20x mean service, admission
+    # "reject" so below-knee points are untouched by shedding policy.
+    deadline = 20.0 * mean_service
+    sweep_config = ServingConfig(workers=args.workers,
+                                 queue_capacity=args.queue,
+                                 admission="reject",
+                                 deadline_seconds=deadline, k=args.k)
+    sweep = [
+        run_point(engine, vocab, rate=fraction * capacity_qps,
+                  queries=args.queries, unique=args.unique,
+                  config=sweep_config, seed=args.seed,
+                  label=f"load={fraction:g}x")
+        for fraction in fractions
+    ]
+    knee = locate_knee(sweep)
+
+    # Admission-policy comparison at a fixed overload.
+    overload = 1.5 * capacity_qps
+    policies = []
+    for admission in ("reject", "shed-oldest", "deadline"):
+        config = ServingConfig(workers=args.workers,
+                               queue_capacity=args.queue,
+                               admission=admission,
+                               deadline_seconds=deadline, k=args.k)
+        policies.append(run_point(
+            engine, vocab, rate=overload, queries=args.queries,
+            unique=args.unique, config=config, seed=args.seed,
+            label=f"{admission}@1.5x",
+        ))
+
+    payload = {
+        "benchmark": "bench_serving",
+        "config": {
+            "preset": args.preset,
+            "scale": args.scale,
+            "num_requests": args.queries,
+            "unique_queries": args.unique,
+            "k": args.k,
+            "workers": args.workers,
+            "queue_capacity": args.queue,
+            "deadline_ms": round(deadline * 1e3, 4),
+            "mean_service_ms": round(mean_service * 1e3, 4),
+            "capacity_qps": round(capacity_qps, 2),
+            "seed": args.seed,
+            "smoke": args.smoke,
+        },
+        "offered_load_sweep": sweep,
+        "knee": knee,
+        "admission_comparison": policies,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    _print_points("offered-load sweep (admission=reject)", sweep)
+    if knee["knee_qps"] is not None:
+        print(f"\nknee: {knee['knee_label']} "
+              f"(~{knee['knee_qps']:.0f} qps offered)")
+    else:
+        print("\nknee: below the lightest sweep point")
+    _print_points("admission policies at 1.5x capacity", policies)
+    print(f"\nwrote {os.path.relpath(args.out, os.getcwd())}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

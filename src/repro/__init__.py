@@ -33,6 +33,7 @@ Quickstart::
 """
 
 from repro.api import BossSession, MAX_QUERY_TERMS
+from repro.clock import WALL_CLOCK, VirtualClock, WallClock
 from repro.baselines import IIUAccelerator, IIUConfig, LuceneConfig, LuceneEngine
 from repro.core import (
     BossAccelerator,
@@ -68,6 +69,14 @@ from repro.observability import (
     Observer,
     QueryTrace,
     RecordingObserver,
+)
+from repro.serving import (
+    PoissonArrivals,
+    QueryServer,
+    ServingConfig,
+    ServingReport,
+    TraceArrivals,
+    zipf_workload,
 )
 from repro.sim import (
     BossTimingModel,
@@ -121,6 +130,17 @@ __all__ = [
     "FaultConfig",
     "FaultyEngine",
     "ZERO_FAULTS",
+    # serving
+    "QueryServer",
+    "ServingConfig",
+    "ServingReport",
+    "PoissonArrivals",
+    "TraceArrivals",
+    "zipf_workload",
+    # clocks
+    "WallClock",
+    "VirtualClock",
+    "WALL_CLOCK",
     # errors
     "ReproError",
     "CompressionError",

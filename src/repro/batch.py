@@ -226,7 +226,7 @@ def _run_cluster_batch(cluster, expressions, k, workers) -> BatchResult:
         return execute_leaf(
             cluster.shard_candidates(shard_index), pruned, effective_k,
             cluster.policy, shard_index, expression=expression,
-            observer=cluster.observer,
+            observer=cluster.observer, clock=cluster.clock,
         )
 
     wall_start = perf_counter()

@@ -8,6 +8,7 @@ Installed as the ``repro-boss`` console script (``repro`` is an alias)::
     repro-boss trace   --index corpus.boss --query '"memory"'
     repro-boss metrics --index corpus.boss --query '"memory"' --query '"a"'
     repro-boss bench   --queries 128 --repeat 2
+    repro-boss serve   --rate 200 --queries 256 --admission reject
     repro-boss demo
 
 ``build`` reads one whitespace-tokenized document per line. ``search``
@@ -19,8 +20,12 @@ bottleneck stage flagged (``--json`` emits the full trace schema).
 the metrics registry. ``bench`` runs a Zipf-skewed query batch through
 the worker-pool driver (:mod:`repro.batch`) and reports wall-clock
 throughput per pass (later passes hit the warm decoded-block cache).
-``demo`` builds a small synthetic corpus and prints the
-BOSS/IIU/Lucene comparison.
+``serve`` drives the online serving layer (:mod:`repro.serving`) with
+an open-loop Poisson workload: bounded admission queue, configurable
+admission policy (``reject`` / ``shed-oldest`` / ``deadline``),
+per-query SLO deadlines, and shed/degraded accounting — see
+``docs/serving.md``. ``demo`` builds a small synthetic corpus and
+prints the BOSS/IIU/Lucene comparison.
 
 Cluster resilience (``--shards N`` on ``bench`` and ``trace``): both
 commands can stand up a sharded cluster over a synthetic document set
@@ -130,6 +135,38 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", action="store_true",
                        help="emit the reports as JSON")
     _add_fault_arguments(bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="sustained-load serving with admission control and SLOs")
+    serve.add_argument("--index", default=None,
+                       help="index file (default: synthetic corpus)")
+    serve.add_argument("--preset", default="ccnews-like",
+                       help="synthetic corpus preset when no --index")
+    serve.add_argument("--scale", type=float, default=0.2,
+                       help="synthetic corpus scale factor")
+    serve.add_argument("--rate", type=float, default=200.0,
+                       help="offered load (queries/second, Poisson)")
+    serve.add_argument("--queries", type=int, default=256,
+                       help="requests in the open-loop workload")
+    serve.add_argument("--unique", type=int, default=32,
+                       help="distinct queries behind the Zipf log")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="serving worker pool size")
+    serve.add_argument("--queue", type=int, default=32,
+                       help="admission queue capacity")
+    serve.add_argument("--admission",
+                       choices=("reject", "shed-oldest", "deadline"),
+                       default="reject",
+                       help="policy when the admission queue is full")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-query SLO deadline (required for the "
+                            "deadline admission policy)")
+    serve.add_argument("-k", type=int, default=10)
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--json", action="store_true",
+                       help="emit the serving report as JSON")
+    _add_fault_arguments(serve)
 
     sub.add_parser("demo", help="synthetic-corpus engine comparison")
     return parser
@@ -521,6 +558,80 @@ def _cmd_bench_cluster(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """``serve``: sustained open-loop load through the serving layer."""
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.serving import QueryServer, ServingConfig, zipf_workload
+
+    if args.shards:
+        if args.index:
+            raise ConfigurationError(
+                "--shards serves a synthetic sharded corpus; drop --index"
+            )
+        target, _sharded = _build_fault_cluster(args, args.k)
+        vocab = [f"t{i}" for i in range(40)]
+    elif args.index:
+        index = load_index(args.index)
+        target = BossAccelerator(index, BossConfig(k=args.k))
+        vocab = sorted(
+            index.terms,
+            key=lambda t: index.posting_list(t).document_frequency,
+            reverse=True,
+        )
+    else:
+        from repro.workloads import make_corpus
+
+        corpus = make_corpus(args.preset, scale=args.scale)
+        target = BossAccelerator(corpus.index, BossConfig(k=args.k))
+        vocab = corpus.terms_by_df()
+
+    config = ServingConfig(
+        workers=args.workers,
+        queue_capacity=args.queue,
+        admission=args.admission,
+        deadline_seconds=(args.deadline_ms / 1e3
+                          if args.deadline_ms is not None else None),
+        k=args.k,
+    )
+    requests = zipf_workload(vocab, args.queries, args.rate,
+                             unique_queries=args.unique, seed=args.seed)
+    result = QueryServer(target, config).serve(requests)
+    report = result.report
+
+    if args.json:
+        payload = dict(report.to_dict(), rate_qps=args.rate,
+                       admission=args.admission, workers=args.workers,
+                       queue_capacity=args.queue, shards=args.shards)
+        print(json.dumps(payload, indent=2))
+        return 0
+    where = (f"{args.shards} shards x{args.replication}"
+             if args.shards else "single engine")
+    print(f"{args.queries} requests at {args.rate:g} qps offered "
+          f"({where}), workers={args.workers}, queue={args.queue}, "
+          f"admission={args.admission}")
+    print(f"served {report.served} ({report.served_degraded} degraded), "
+          f"shed {report.shed} ({report.shed_fraction:.1%})")
+    if report.shed_by_reason:
+        detail = ", ".join(f"{reason}={count}" for reason, count
+                           in sorted(report.shed_by_reason.items()))
+        print(f"shed by reason: {detail}")
+    if report.deadline_seconds is not None:
+        print(f"SLO {report.deadline_seconds * 1e3:g}ms: "
+              f"{report.slo_attained} attained, "
+              f"{report.slo_violated} violated "
+              f"({report.slo_violation_fraction:.1%} violation incl. shed)")
+    print(f"throughput: {report.achieved_qps:.1f} qps achieved vs "
+          f"{report.offered_qps:.1f} offered")
+    print(f"latency ms: p50={report.p50_latency_seconds * 1e3:.2f} "
+          f"p95={report.p95_latency_seconds * 1e3:.2f} "
+          f"p99={report.p99_latency_seconds * 1e3:.2f}")
+    print(f"queue depth: mean={report.mean_queue_depth:.2f} "
+          f"max={report.max_queue_depth}")
+    return 0
+
+
 def _cmd_demo(_args) -> int:
     from repro.workloads import QuerySampler, make_corpus
 
@@ -562,6 +673,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
         "demo": _cmd_demo,
     }
     try:

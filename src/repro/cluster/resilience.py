@@ -14,13 +14,22 @@ driver (:func:`repro.batch.run_query_batch`):
   and its *result is discarded* when it exceeded ``timeout_seconds``
   (a Python thread cannot be interrupted mid-search; discarding the
   late answer models the root abandoning a straggler). Timed-out
-  attempts consume retry budget like failures;
+  attempts consume retry budget like failures — except on the very
+  last attempt of the last candidate, where the late-but-valid answer
+  is *kept*: the timeout is still counted, but a query the leaf
+  actually answered is never reported failed when no retry or replica
+  remains to do better;
 * **failover** — when a candidate exhausts its budget, execution moves
   to the shard's next replica with a fresh attempt budget;
 * **graceful degradation** — when every replica is exhausted the shard
   is reported failed; under ``allow_degraded`` the root merges without
   it, otherwise a :class:`~repro.errors.LeafExecutionError` naming the
   (query, shard) is raised.
+
+Time is read through an injectable :class:`repro.clock.Clock`
+(defaulting to the wall clock): backoff sleeps and attempt timing both
+go through it, so the fault-matrix tests drive retries and timeouts in
+zero wall time with a :class:`repro.clock.VirtualClock`.
 
 The no-op policy (:data:`STRICT_POLICY`: no timeout, no retries, no
 degradation) takes a fast path that calls ``engine.search`` directly,
@@ -29,11 +38,10 @@ so an unconfigured cluster is bit-identical to pre-resilience behavior.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import List, Optional
 
+from repro.clock import WALL_CLOCK, Clock
 from repro.errors import ConfigurationError, LeafExecutionError
 
 
@@ -135,30 +143,35 @@ class ResilienceStats:
 
 def execute_leaf(candidates: List, pruned, k: int,
                  policy: ResiliencePolicy, shard_index: int,
-                 expression: str = "", observer=None) -> LeafOutcome:
+                 expression: str = "", observer=None,
+                 clock: Optional[Clock] = None) -> LeafOutcome:
     """Run one pruned sub-query against a shard's replica chain.
 
     ``candidates`` is the primary engine followed by its replicas.
     Raises :class:`LeafExecutionError` only when the shard exhausts and
     the policy forbids degradation; otherwise always returns an outcome
     (``failed=True`` marks an exhausted shard for the merge to skip).
+    ``clock`` supplies attempt timing and backoff sleeps (wall clock by
+    default).
     """
     if not candidates:
         raise ConfigurationError(f"shard {shard_index} has no engines")
+    if clock is None:
+        clock = WALL_CLOCK
     outcome = LeafOutcome(shard_index=shard_index)
     notify = observer if observer is not None and observer.enabled else None
-    started = perf_counter()
+    started = clock.now()
     last_error: Optional[BaseException] = None
 
     if policy.is_noop and len(candidates) == 1:
         # Bit-identical pre-resilience fast path: no timing wrapper
         # beyond the caller's own, failures wrapped and raised.
         try:
-            attempt_start = perf_counter()
+            attempt_start = clock.now()
             outcome.result = candidates[0].search(pruned, k=k)
-            outcome.attempt_seconds = perf_counter() - attempt_start
+            outcome.attempt_seconds = clock.now() - attempt_start
             outcome.attempts = 1
-            outcome.elapsed_seconds = perf_counter() - started
+            outcome.elapsed_seconds = clock.now() - started
             return outcome
         except Exception as error:
             raise LeafExecutionError(
@@ -178,23 +191,36 @@ def execute_leaf(candidates: List, pruned, k: int,
                 if notify is not None:
                     notify.on_resilience_event("retry", shard_index)
                 if policy.backoff_base_seconds > 0:
-                    time.sleep(
+                    clock.sleep(
                         policy.backoff_base_seconds
                         * policy.backoff_multiplier ** (attempt - 1)
                     )
             outcome.attempts += 1
-            attempt_start = perf_counter()
+            attempt_start = clock.now()
             try:
                 result = engine.search(pruned, k=k)
             except Exception as error:
                 last_error = error
                 continue
-            attempt_seconds = perf_counter() - attempt_start
+            attempt_seconds = clock.now() - attempt_start
             if (policy.timeout_seconds is not None
                     and attempt_seconds > policy.timeout_seconds):
                 outcome.timeouts += 1
                 if notify is not None:
                     notify.on_resilience_event("timeout", shard_index)
+                budget_exhausted = (
+                    candidate_index == len(candidates) - 1
+                    and attempt == policy.max_retries
+                )
+                if budget_exhausted:
+                    # A valid answer exists and nothing remains that
+                    # could produce a timelier one — keep the late
+                    # result (the timeout above is still counted)
+                    # rather than degrading a query we answered.
+                    outcome.result = result
+                    outcome.attempt_seconds = attempt_seconds
+                    outcome.elapsed_seconds = clock.now() - started
+                    return outcome
                 last_error = LeafExecutionError(
                     f"shard {shard_index} attempt took "
                     f"{attempt_seconds:.3f}s "
@@ -204,12 +230,12 @@ def execute_leaf(candidates: List, pruned, k: int,
                 continue
             outcome.result = result
             outcome.attempt_seconds = attempt_seconds
-            outcome.elapsed_seconds = perf_counter() - started
+            outcome.elapsed_seconds = clock.now() - started
             return outcome
 
     outcome.failed = True
     outcome.error = repr(last_error) if last_error is not None else None
-    outcome.elapsed_seconds = perf_counter() - started
+    outcome.elapsed_seconds = clock.now() - started
     if notify is not None:
         notify.on_resilience_event("shard_failed", shard_index)
     if not policy.allow_degraded:

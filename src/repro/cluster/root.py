@@ -96,15 +96,22 @@ class SearchCluster:
     is the ordered list of backup engines for shard ``i`` (typically
     engines over the same shard index — see
     :meth:`~repro.cluster.sharding.ShardedCorpus` replication).
+
+    ``clock`` supplies attempt timing and backoff sleeps for resilient
+    leaf execution (default: the wall clock; tests pass a
+    :class:`repro.clock.VirtualClock` to run fault scenarios in zero
+    wall time).
     """
 
     def __init__(self, engines: List, observer=None,
                  policy: Optional[ResiliencePolicy] = None,
-                 replicas: Optional[List[List]] = None) -> None:
+                 replicas: Optional[List[List]] = None,
+                 clock=None) -> None:
         if not engines:
             raise ConfigurationError("cluster needs at least one leaf")
         self._engines = list(engines)
         self._policy = STRICT_POLICY if policy is None else policy
+        self._clock = clock
         if replicas is None:
             self._replicas: List[List] = [[] for _ in self._engines]
         else:
@@ -142,6 +149,11 @@ class SearchCluster:
     def replicas(self) -> List[List]:
         """Per-shard failover engines (empty lists when unreplicated)."""
         return self._replicas
+
+    @property
+    def clock(self):
+        """The clock resilient leaf execution runs on (None = wall)."""
+        return self._clock
 
     def shard_candidates(self, shard_index: int) -> List:
         """Primary-first engine chain for one shard."""
@@ -184,7 +196,7 @@ class SearchCluster:
             outcome = execute_leaf(
                 self.shard_candidates(shard_index), pruned, k,
                 self._policy, shard_index, expression=expression,
-                observer=self._observer,
+                observer=self._observer, clock=self._clock,
             )
             leaf_results.append(outcome.result)
             outcomes.append(outcome)

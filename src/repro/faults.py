@@ -31,11 +31,11 @@ unwrapped engine (pinned by the differential suite).
 from __future__ import annotations
 
 import random
-import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from repro.clock import WALL_CLOCK
 from repro.errors import (
     CompressionError,
     ConfigurationError,
@@ -127,12 +127,17 @@ class FaultyEngine:
     (``search(query, k)`` plus attribute delegation for ``index``,
     ``observer``, ``config``, ...), so it can stand wherever a real
     engine does.
+
+    ``clock`` performs the latency-spike sleeps (wall clock by
+    default); the fault-matrix tests pass a
+    :class:`repro.clock.VirtualClock` so spikes cost no real time.
     """
 
     def __init__(self, engine, faults: FaultConfig = ZERO_FAULTS,
-                 shard_id: int = 0) -> None:
+                 shard_id: int = 0, clock=None) -> None:
         self._engine = engine
         self._faults = faults
+        self._clock = WALL_CLOCK if clock is None else clock
         self.shard_id = shard_id
         self.stats = FaultStats()
         #: Attempt count per logical-query key (retries re-key here).
@@ -221,7 +226,7 @@ class FaultyEngine:
             )
         if spike and faults.latency_spike_seconds > 0:
             self.stats.latency_spikes += 1
-            time.sleep(faults.latency_spike_seconds)
+            self._clock.sleep(faults.latency_spike_seconds)
         return self._engine.search(query, k=k)
 
     def _raise_corrupted(self, query) -> None:
@@ -271,12 +276,13 @@ class FaultyEngine:
 
 
 def wrap_shards(engines, faults: Union[FaultConfig, list, tuple],
-                ) -> list:
+                clock=None) -> list:
     """Wrap a cluster's leaf engines in :class:`FaultyEngine` instances.
 
     ``faults`` is one :class:`FaultConfig` applied to every shard, or a
     per-shard sequence where ``None`` entries get the zero-fault
     schedule. Shard ids follow list order, matching cluster indices.
+    ``clock`` is shared by every wrapper (latency-spike sleeps).
     """
     if isinstance(faults, FaultConfig):
         faults = [faults] * len(engines)
@@ -286,7 +292,7 @@ def wrap_shards(engines, faults: Union[FaultConfig, list, tuple],
         )
     return [
         FaultyEngine(engine, config if config is not None else ZERO_FAULTS,
-                     shard_id=i)
+                     shard_id=i, clock=clock)
         for i, (engine, config) in enumerate(zip(engines, faults))
     ]
 
@@ -295,7 +301,8 @@ def make_faulty_cluster(documents, num_shards: int, *,
                         faults: Union[FaultConfig, list, tuple] = ZERO_FAULTS,
                         policy=None, replication_factor: int = 1,
                         k: int = 10, observer=None,
-                        replica_faults: Optional[FaultConfig] = None):
+                        replica_faults: Optional[FaultConfig] = None,
+                        clock=None):
     """Build a fault-injected, resilient cluster over ``documents``.
 
     The shared assembly behind the fault-tolerance benchmark, the CLI's
@@ -307,7 +314,9 @@ def make_faulty_cluster(documents, num_shards: int, *,
     primary's corruption does not afflict its backups. ``faults`` is
     one config for every shard or a per-shard list; ``replica_faults``
     overrides the replicas' schedule (e.g. ``ZERO_FAULTS`` to study
-    failover out of a dying primary).
+    failover out of a dying primary). ``clock`` is shared by the fault
+    wrappers (spike sleeps) and the cluster's resilience path (backoff
+    sleeps, attempt timing); the default is the wall clock.
 
     Returns ``(cluster, sharded_corpus)``.
     """
@@ -327,7 +336,7 @@ def make_faulty_cluster(documents, num_shards: int, *,
     config = BossConfig(k=k)
     primaries = wrap_shards(
         [BossAccelerator(index, config) for index in sharded.indexes],
-        per_shard,
+        per_shard, clock=clock,
     )
     replicas = []
     for shard_index in range(sharded.num_shards):
@@ -340,8 +349,9 @@ def make_faulty_cluster(documents, num_shards: int, *,
                 # Distinct stream per replica: same schedule *shape*,
                 # independent draws from the primary's.
                 shard_id=(rank + 1) * sharded.num_shards + shard_index,
+                clock=clock,
             ))
         replicas.append(group)
     cluster = SearchCluster(primaries, observer=observer, policy=policy,
-                            replicas=replicas)
+                            replicas=replicas, clock=clock)
     return cluster, sharded

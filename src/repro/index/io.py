@@ -5,6 +5,13 @@ from disk to SCM memory pool". We persist indexes with pickle — the
 index is built offline and is read-only afterwards (Section II-B), so a
 straightforward binary snapshot is the appropriate tool. The format is
 versioned to fail loudly rather than deserialize garbage.
+
+**Trust boundary:** unpickling executes code chosen by whoever wrote
+the file, so :func:`load_index` must only ever be pointed at snapshots
+you (or your build pipeline) produced with :func:`save_index`. For
+index files received from an untrusted source, use the structural
+binary format in :mod:`repro.index.binaryio` instead — it parses plain
+integers and bytes and cannot execute anything.
 """
 
 from __future__ import annotations
@@ -28,12 +35,20 @@ def save_index(index: InvertedIndex, path: Union[str, Path]) -> None:
 
 
 def load_index(path: Union[str, Path]) -> InvertedIndex:
-    """Read an index snapshot written by :func:`save_index`."""
+    """Read an index snapshot written by :func:`save_index`.
+
+    Only load files from a trusted source: the snapshot is a pickle,
+    and unpickling attacker-controlled bytes can execute arbitrary
+    code. Untrusted index files belong to :mod:`repro.index.binaryio`,
+    whose reader never evaluates its input.
+    """
     with open(path, "rb") as handle:
         try:
             payload = pickle.load(handle)
         except Exception as exc:  # corrupt or foreign pickle
-            raise InvertedIndexError(f"cannot read index file {path}: {exc}")
+            raise InvertedIndexError(
+                f"cannot read index file {path}: {exc}"
+            ) from exc
     if not isinstance(payload, dict) or payload.get("magic") != _MAGIC:
         raise InvertedIndexError(f"{path} is not a BOSS index file")
     if payload.get("version") != _VERSION:

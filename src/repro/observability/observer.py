@@ -73,6 +73,22 @@ class Observer:
         ``"shard_failed"`` (see :mod:`repro.cluster.resilience`).
         """
 
+    def on_request_admitted(self, queue_depth: int) -> None:
+        """The serving layer admitted a request (``queue_depth`` is the
+        occupancy after enqueueing; 0 = dispatched immediately)."""
+
+    def on_request_shed(self, reason: str) -> None:
+        """The serving layer dropped a request (a ``SHED_*`` reason
+        from :mod:`repro.serving.server`)."""
+
+    def on_request_served(self, outcome) -> None:
+        """A served request completed; ``outcome`` is the full
+        :class:`repro.serving.server.RequestOutcome`."""
+
+    def on_serving_complete(self, report) -> None:
+        """A sustained-load run finished; ``report`` is the
+        :class:`repro.serving.server.ServingReport`."""
+
 
 #: Shared do-nothing observer; the default everywhere.
 NULL_OBSERVER = Observer()
@@ -220,6 +236,49 @@ class RecordingObserver(Observer):
             "cluster.resilience_events",
             "leaf recovery steps (retry/timeout/failover/shard_failed)",
         ).inc(event=event, shard=str(shard_index))
+
+    def on_request_admitted(self, queue_depth: int) -> None:
+        self.registry.counter(
+            "serving.admitted", "requests accepted by the serving layer"
+        ).inc()
+        depth = self.registry.gauge(
+            "serving.queue_depth_max", "deepest admission queue seen"
+        )
+        if queue_depth > depth.value():
+            depth.set(queue_depth)
+
+    def on_request_shed(self, reason: str) -> None:
+        self.registry.counter(
+            "serving.shed", "requests dropped by admission control"
+        ).inc(reason=reason)
+
+    def on_request_served(self, outcome) -> None:
+        if outcome.slo_attained is None:
+            slo = "none"
+        else:
+            slo = "attained" if outcome.slo_attained else "violated"
+        self.registry.counter(
+            "serving.served", "requests answered, by SLO outcome"
+        ).inc(slo=slo, degraded=str(outcome.degraded).lower())
+        self.registry.histogram(
+            "serving.latency_us", LATENCY_BUCKETS_US,
+            "arrival-to-completion serving latency (us)",
+        ).observe(outcome.latency_seconds * 1e6)
+        self.registry.histogram(
+            "serving.queue_wait_us", LATENCY_BUCKETS_US,
+            "admission-queue wait before dispatch (us)",
+        ).observe(outcome.queue_wait_seconds * 1e6)
+
+    def on_serving_complete(self, report) -> None:
+        self.registry.counter(
+            "serving.runs", "sustained-load runs completed"
+        ).inc()
+        self.registry.gauge(
+            "serving.last_achieved_qps", "served throughput of last run"
+        ).set(report.achieved_qps)
+        self.registry.gauge(
+            "serving.last_shed_fraction", "shed fraction of last run"
+        ).set(report.shed_fraction)
 
     # ------------------------------------------------------------------
     # Registry publication

@@ -7,10 +7,9 @@ faults healed by retries, permanent death degrading the merge — both
 deterministic across runs).
 """
 
-import time
-
 import pytest
 
+from repro.clock import VirtualClock
 from repro.cluster.resilience import (
     STRICT_POLICY,
     LeafOutcome,
@@ -38,18 +37,23 @@ QUERIES = [
 
 
 class ScriptedEngine:
-    """Fails its first ``failures`` calls, then returns ``payload``."""
+    """Fails its first ``failures`` calls, then returns ``payload``.
 
-    def __init__(self, failures=0, payload="ok", delay=0.0):
+    ``delay`` advances ``clock`` (a VirtualClock) per call, so timeout
+    scenarios run in zero wall time.
+    """
+
+    def __init__(self, failures=0, payload="ok", delay=0.0, clock=None):
         self.failures = failures
         self.payload = payload
         self.delay = delay
+        self.clock = clock
         self.calls = 0
 
     def search(self, query, k=None):
         self.calls += 1
         if self.delay:
-            time.sleep(self.delay)
+            self.clock.advance(self.delay)
         if self.calls <= self.failures:
             raise RuntimeError(f"scripted failure #{self.calls}")
         return self.payload
@@ -116,15 +120,74 @@ class TestExecuteLeaf:
         assert primary.calls == 2  # fresh budget spent on the primary
         assert replica.calls == 1
 
-    def test_timeout_discards_late_result(self):
-        engine = ScriptedEngine(delay=0.02)
+    def test_timeout_discards_late_result_while_budget_remains(self):
+        # Regression (late-result bug): a slow-but-successful attempt
+        # must still be discarded and retried when retries remain, yet
+        # the *final* attempt's late answer must be kept — previously
+        # the shard was reported failed even though it answered.
+        clock = VirtualClock()
+        engine = ScriptedEngine(delay=0.02, clock=clock)
         policy = ResiliencePolicy(timeout_seconds=0.001, max_retries=1,
                                   allow_degraded=True)
-        outcome = execute_leaf([engine], "q", 10, policy, 1)
-        assert outcome.failed
-        assert outcome.timeouts == 2  # every attempt overran
-        assert outcome.result is None
-        assert "timeout" in outcome.error
+        outcome = execute_leaf([engine], "q", 10, policy, 1, clock=clock)
+        assert not outcome.failed
+        assert outcome.result == "ok"
+        assert engine.calls == 2  # attempt 1's late answer was discarded
+        assert outcome.timeouts == 2  # every attempt overran, all counted
+        assert outcome.retries == 1
+        assert outcome.error is None
+
+    def test_timeout_late_result_kept_without_retry_budget(self):
+        clock = VirtualClock()
+        engine = ScriptedEngine(delay=0.02, clock=clock)
+        policy = ResiliencePolicy(timeout_seconds=0.001,
+                                  allow_degraded=True)
+        outcome = execute_leaf([engine], "q", 10, policy, 1, clock=clock)
+        assert not outcome.failed
+        assert outcome.result == "ok"
+        assert engine.calls == 1
+        assert outcome.timeouts == 1
+        assert outcome.attempt_seconds == pytest.approx(0.02)
+
+    def test_timeout_prefers_replica_over_late_primary(self):
+        # A late primary answer is only a last resort: while a replica
+        # remains, failover must still run and its timely answer wins.
+        clock = VirtualClock()
+        primary = ScriptedEngine(delay=0.02, payload="late",
+                                 clock=clock)
+        replica = ScriptedEngine(payload="timely")
+        policy = ResiliencePolicy(timeout_seconds=0.001,
+                                  allow_degraded=True)
+        outcome = execute_leaf([primary, replica], "q", 10, policy, 0,
+                               clock=clock)
+        assert not outcome.failed
+        assert outcome.result == "timely"
+        assert outcome.failovers == 1
+        assert outcome.timeouts == 1
+
+    def test_timeout_late_result_kept_on_last_replica(self):
+        clock = VirtualClock()
+        primary = ScriptedEngine(failures=99)
+        replica = ScriptedEngine(delay=0.02, payload="late", clock=clock)
+        policy = ResiliencePolicy(timeout_seconds=0.001,
+                                  allow_degraded=True)
+        outcome = execute_leaf([primary, replica], "q", 10, policy, 0,
+                               clock=clock)
+        assert not outcome.failed
+        assert outcome.result == "late"
+        assert outcome.failovers == 1
+        assert outcome.timeouts == 1
+
+    def test_timeout_observer_counts_final_kept_attempt(self):
+        observer = RecordingObserver()
+        clock = VirtualClock()
+        engine = ScriptedEngine(delay=0.02, clock=clock)
+        policy = ResiliencePolicy(timeout_seconds=0.001,
+                                  allow_degraded=True)
+        execute_leaf([engine], "q", 10, policy, 3, observer=observer,
+                     clock=clock)
+        events = observer.metrics.get("cluster.resilience_events")
+        assert events.value(event="timeout", shard="3") == 1
 
     def test_strict_policy_raises_naming_query_and_shard(self):
         engine = ScriptedEngine(failures=99)
@@ -144,18 +207,17 @@ class TestExecuteLeaf:
         assert "shard 2" in str(exc.value)
         assert engine.calls == 2
 
-    def test_backoff_sleeps_between_retries(self, monkeypatch):
-        sleeps = []
-        monkeypatch.setattr("repro.cluster.resilience.time.sleep",
-                            sleeps.append)
+    def test_backoff_sleeps_between_retries(self):
+        clock = VirtualClock()
         engine = ScriptedEngine(failures=2)
         policy = ResiliencePolicy(max_retries=2,
                                   backoff_base_seconds=0.01,
                                   backoff_multiplier=2.0,
                                   allow_degraded=True)
-        outcome = execute_leaf([engine], "q", 10, policy, 0)
+        outcome = execute_leaf([engine], "q", 10, policy, 0, clock=clock)
         assert not outcome.failed
-        assert sleeps == [0.01, 0.02]
+        assert clock.sleeps == [0.01, 0.02]
+        assert outcome.elapsed_seconds == pytest.approx(0.03)
 
     def test_stats_absorb_and_merge(self):
         stats = ResilienceStats()

@@ -67,3 +67,18 @@ class TestErrors:
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_index(tmp_path / "missing.boss")
+
+    def test_unpickle_failure_chains_the_cause(self, tmp_path):
+        # Regression (swallowed-cause bug): the wrapping
+        # InvertedIndexError used to drop the underlying exception, so
+        # tracebacks showed only "cannot read index file" with no hint
+        # of *why* unpickling failed.
+        path = tmp_path / "junk.boss"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(InvertedIndexError) as exc:
+            load_index(path)
+        assert exc.value.__cause__ is not None
+        assert isinstance(exc.value.__cause__, pickle.UnpicklingError)
+        assert str(path) in str(exc.value)
+        # The cause's message is surfaced in the wrapper text too.
+        assert str(exc.value.__cause__) in str(exc.value)

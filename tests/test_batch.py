@@ -124,6 +124,56 @@ class TestClusterBatch:
         assert all(s >= 0 for s in batch.report.per_query_seconds)
 
 
+class FlakyEngine:
+    """Counts calls; raises on the "boom" expression, dawdles otherwise."""
+
+    def __init__(self, delay=0.002):
+        import threading
+
+        self.delay = delay
+        self._lock = threading.Lock()
+        self.calls = 0
+
+    def search(self, expression, k=None):
+        import time
+
+        with self._lock:
+            self.calls += 1
+        if expression == "boom":
+            raise RuntimeError("scripted engine failure")
+        time.sleep(self.delay)
+        return expression
+
+
+class TestEngineBatchFailure:
+    def test_mid_collection_failure_cancels_queued_work(self):
+        # The first future fails while dozens are still queued: the
+        # driver must cancel them rather than grind through a batch
+        # whose result has already been abandoned.
+        engine = FlakyEngine(delay=0.005)
+        queries = ["boom"] + [f"q{i}" for i in range(60)]
+        with pytest.raises(RuntimeError, match="scripted engine"):
+            run_query_batch(engine, queries, k=10, workers=2)
+        # At most the failing query plus whatever the two workers had
+        # already started — nowhere near the 61 submitted.
+        assert engine.calls < 10
+
+    def test_serial_path_fails_fast_too(self):
+        engine = FlakyEngine()
+        with pytest.raises(RuntimeError):
+            run_query_batch(engine, ["boom", "q1", "q2"], k=10, workers=1)
+        assert engine.calls == 1
+
+    def test_single_query_report_percentiles_collapse(self, engine):
+        batch = run_query_batch(engine, ['"t0"'], k=10, workers=2)
+        report = batch.report
+        sample = report.per_query_seconds[0]
+        assert report.num_queries == 1
+        assert report.p50_seconds == sample
+        assert report.p95_seconds == sample
+        assert report.p99_seconds == sample
+
+
 class TestPercentiles:
     def test_empty_sample_yields_zero(self):
         from repro.batch import _percentile
@@ -192,6 +242,24 @@ class TestResilientClusterBatch:
             assert hits_as_pairs(batched) == hits_as_pairs(expected)
             assert batched.leaf_retries == expected.leaf_retries
             assert batched.shards_failed == expected.shards_failed
+
+    def test_degraded_count_matches_per_result_flags(self, documents):
+        # Corruption is immune to retries, so with a seeded corruption
+        # schedule only *some* queries degrade — the aggregate count
+        # must equal the per-result flags exactly, not over- or
+        # under-report.
+        from repro.cluster.resilience import ResiliencePolicy
+        from repro.faults import FaultConfig, make_faulty_cluster
+
+        faults = FaultConfig(seed=6, corruption_probability=0.4)
+        policy = ResiliencePolicy(max_retries=2, allow_degraded=True)
+        cluster, _ = make_faulty_cluster(documents, 3, faults=faults,
+                                         policy=policy)
+        queries = self.QUERIES + ['"t6"', '"t2" AND "t4"', '"t0" OR "t3"']
+        batch = run_query_batch(cluster, queries, k=10, workers=4)
+        flagged = sum(1 for r in batch.results if r.degraded)
+        assert batch.report.queries_degraded == flagged
+        assert 0 < flagged < len(queries)
 
     def test_leaf_failure_aborts_with_named_query_and_shard(self,
                                                             documents):

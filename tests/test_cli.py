@@ -242,3 +242,54 @@ class TestClusterModes:
 
     def test_trace_requires_index_or_shards(self):
         assert main(["trace", "--query", '"t0"']) == 2
+
+
+class TestServe:
+    ARGS = ["serve", "--queries", "24", "--rate", "500", "--scale",
+            "0.05", "--unique", "8"]
+
+    def test_serve_prints_report(self, capsys):
+        assert main(self.ARGS + ["--workers", "2", "--queue", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "24 requests" in out
+        assert "admission=reject" in out
+        assert "served" in out and "shed" in out
+        assert "qps achieved" in out
+        assert "p99=" in out
+
+    def test_serve_json_parses(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["num_requests"] == 24
+        assert record["served"] + record["shed"] == 24
+        assert record["admission"] == "reject"
+        assert record["rate_qps"] == 500.0
+
+    def test_serve_with_deadline_reports_slo(self, capsys):
+        assert main(self.ARGS + ["--admission", "deadline",
+                                 "--deadline-ms", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO 50ms" in out
+        assert "attained" in out
+
+    def test_serve_on_faulty_cluster(self, capsys):
+        import json
+
+        assert main(["serve", "--shards", "2", "--cluster-docs", "150",
+                     "--queries", "12", "--rate", "300",
+                     "--kill-shard", "0", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["shards"] == 2
+        assert record["served_degraded"] == record["served"] > 0
+
+    def test_serve_rejects_index_with_shards(self, tmp_path):
+        assert main(["serve", "--shards", "2",
+                     "--index", str(tmp_path / "x.boss")]) == 2
+
+    def test_serve_from_index_file(self, index_file, capsys):
+        assert main(["serve", "--index", str(index_file),
+                     "--queries", "8", "--rate", "200",
+                     "--unique", "4"]) == 0
+        assert "8 requests" in capsys.readouterr().out

@@ -70,6 +70,7 @@ class TestDocsDirectory:
     @pytest.mark.parametrize("name", [
         "architecture.md", "performance-model.md",
         "decompressor-programs.md", "observability.md",
+        "robustness.md", "serving.md",
     ])
     def test_docs_exist_and_nonempty(self, name):
         path = ROOT / "docs" / name

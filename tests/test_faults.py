@@ -7,6 +7,7 @@ kind is a deterministic, seed-replayable function of the query.
 
 import pytest
 
+from repro.clock import VirtualClock
 from repro.core import BossAccelerator, BossConfig
 from repro.errors import (
     CompressionError,
@@ -188,12 +189,26 @@ class TestFaultKinds:
     def test_latency_spike_completes(self, index):
         config = FaultConfig(latency_spike_probability=1.0,
                              latency_spike_seconds=0.001)
+        clock = VirtualClock()
         raw = _engine(index)
-        wrapped = FaultyEngine(_engine(index), config)
+        wrapped = FaultyEngine(_engine(index), config, clock=clock)
         result = wrapped.search('"t0"')
         assert hits_as_pairs(result) == hits_as_pairs(raw.search('"t0"'))
         assert wrapped.stats.latency_spikes == 1
         assert wrapped.stats.total_faults == 0  # a spike is not a failure
+        # The spike was charged to the injected clock, not the wall.
+        assert clock.sleeps == [0.001]
+
+    def test_spike_sleeps_on_wall_clock_by_default(self, index,
+                                                   monkeypatch):
+        # Without an injected clock a spike really stalls the caller —
+        # intercept the singleton wall clock rather than sleeping.
+        slept = []
+        monkeypatch.setattr("repro.clock.WALL_CLOCK.sleep", slept.append)
+        config = FaultConfig(latency_spike_probability=1.0,
+                             latency_spike_seconds=0.25)
+        FaultyEngine(_engine(index), config).search('"t0"')
+        assert slept == [0.25]
 
 
 class TestWrapShards:
@@ -237,6 +252,37 @@ class TestFaultyClusterDifferential:
             assert a.work == b.work
             assert a.interconnect_bytes == b.interconnect_bytes
             assert not a.degraded and a.shards_failed == []
+
+    def test_virtual_clock_cluster_never_wall_sleeps(self, monkeypatch):
+        # Regression (wall-clock sleep bug): spikes and retry backoff
+        # used to call time.sleep directly, so fault scenarios burned
+        # real seconds. With an injected VirtualClock the whole run
+        # must finish without a single real sleep.
+        import time
+
+        from repro.cluster.resilience import ResiliencePolicy
+        from repro.workloads import synthetic_documents
+
+        def _no_sleep(seconds):
+            raise AssertionError(
+                f"time.sleep({seconds}) during a virtual-clock run"
+            )
+
+        monkeypatch.setattr(time, "sleep", _no_sleep)
+        clock = VirtualClock()
+        documents = synthetic_documents(num_docs=300, seed=9)
+        faults = FaultConfig(seed=2, latency_spike_probability=0.6,
+                             latency_spike_seconds=0.05,
+                             transient_failure_probability=0.4)
+        policy = ResiliencePolicy(max_retries=2,
+                                  backoff_base_seconds=0.01,
+                                  allow_degraded=True)
+        cluster, _ = make_faulty_cluster(documents, 3, faults=faults,
+                                         policy=policy, clock=clock)
+        for expr in QUERIES:
+            assert cluster.search(expr, k=10).hits
+        # The scenario did sleep — just on simulated time.
+        assert clock.total_slept > 0
 
     def test_replicas_share_the_shard_index(self):
         from repro.workloads import synthetic_documents
