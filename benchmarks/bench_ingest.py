@@ -1,0 +1,296 @@
+#!/usr/bin/env python
+"""Ingest benchmark: update-mix sweep over SCM vs DRAM maintenance.
+
+Drives the live segmented index (:mod:`repro.live`) through the
+open-loop serving layer with a mixed query/mutation workload, sweeping
+the update fraction from read-only to ingest-heavy on both device
+models. Every run is deterministic: the workload is a pure function of
+the seed, mutation costs come from the modeled device (seals and
+merges occupy FIFO busy-windows; queries queue behind the backlog),
+and the shared virtual clock never reads wall time.
+
+The point of the sweep is the paper's write-bandwidth asymmetry made
+visible end to end: Optane-class SCM writes at roughly a ninth of its
+read bandwidth, so the same ingest stream that DRAM absorbs almost
+for free turns into maintenance backlog on SCM — tail latency and
+goodput degrade materially more as the update mix grows, and write
+amplification climbs with every compaction tier.
+
+Results are written as JSON (default: ``BENCH_pr5.json`` at the repo
+root) so CI can archive the trajectory; nothing is gated on them.
+
+Usage::
+
+    python benchmarks/bench_ingest.py           # full sweep
+    python benchmarks/bench_ingest.py --smoke   # CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.live import (  # noqa: E402
+    LiveIndexWriter,
+    LiveServingTarget,
+    MergePolicy,
+)
+from repro.scm.device import DDR4_4CH, OPTANE_NODE_4CH  # noqa: E402
+from repro.serving import (  # noqa: E402
+    QueryServer,
+    ServingConfig,
+    zipf_workload,
+)
+
+_REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+_DEFAULT_OUT = os.path.join(_REPO_ROOT, "BENCH_pr5.json")
+
+#: Fraction of requests that are mutations, per sweep point.
+UPDATE_MIXES = (0.0, 0.01, 0.10, 0.50)
+SMOKE_MIXES = (0.0, 0.10, 0.50)
+
+DEVICES = {"scm": OPTANE_NODE_4CH, "dram": DDR4_4CH}
+
+
+def build_writer(seed, num_docs, vocab_size, device, *,
+                 buffer_docs, fanout):
+    """A live writer pre-loaded with a synthetic corpus.
+
+    Document ``i`` always contains vocabulary term ``i mod vocab_size``
+    (plus seeded random filler), so every term keeps live coverage even
+    under oldest-document churn.
+    """
+    import random
+
+    vocab = [f"t{i}" for i in range(vocab_size)]
+    writer = LiveIndexWriter(device=device, buffer_docs=buffer_docs,
+                             policy=MergePolicy(fanout=fanout))
+    rng = random.Random(f"live-corpus:{seed}")
+    for i in range(num_docs):
+        length = rng.randint(4, 24)
+        tokens = [vocab[i % vocab_size]]
+        tokens += [rng.choice(vocab) for _ in range(length - 1)]
+        writer.add_document(tokens)
+    writer.flush()
+    # The preload is offline work: serving starts against an idle
+    # device, not queued behind the bulk build's busy-window.
+    writer.scheduler.busy_until = writer.clock.now()
+    return writer, vocab
+
+
+def calibrate(args) -> float:
+    """Mean modeled query service time on an idle, freshly built index."""
+    writer, vocab = build_writer(args.seed, args.docs, args.vocab,
+                                 OPTANE_NODE_4CH,
+                                 buffer_docs=args.buffer,
+                                 fanout=args.fanout)
+    target = LiveServingTarget(writer)
+    probes = zipf_workload(vocab, 32, rate_qps=1.0,
+                           unique_queries=args.unique, seed=args.seed)
+    total = 0.0
+    for request in probes:
+        result = target.search(request.expression, k=args.k)
+        total += target.service_time(request, result)
+    return total / len(probes)
+
+
+def _percentile(sorted_values, fraction) -> float:
+    if not sorted_values:
+        return 0.0
+    rank = int(fraction * (len(sorted_values) - 1))
+    return sorted_values[rank]
+
+
+def run_point(device_name, update_mix, rate, args) -> dict:
+    writer, vocab = build_writer(args.seed, args.docs, args.vocab,
+                                 DEVICES[device_name],
+                                 buffer_docs=args.buffer,
+                                 fanout=args.fanout)
+    preload_seals = len(writer.scheduler.seals)
+    preload_merges = len(writer.scheduler.records)
+    preload_maintenance = writer.scheduler.busy_seconds
+    target = LiveServingTarget(writer)
+    config = ServingConfig(workers=args.workers,
+                           queue_capacity=args.queue,
+                           admission="reject", k=args.k)
+    requests = zipf_workload(vocab, args.queries, rate_qps=rate,
+                             unique_queries=args.unique,
+                             seed=args.seed, update_mix=update_mix)
+    result = QueryServer(
+        target, config,
+        service_time=target.service_time,
+        clock=writer.clock,
+    ).serve(requests)
+    report = result.report
+
+    # Percentiles over queries only: a cheap buffered add would dilute
+    # the latency distribution exactly where the backlog effect lives.
+    query_latencies = sorted(
+        o.latency_seconds for o in result.outcomes
+        if o.status == "served"
+        and not o.expression.startswith("<update:")
+    )
+    updates = sum(1 for r in requests if r.update is not None)
+    scheduler = writer.scheduler
+    return {
+        "label": f"{device_name}@{update_mix:g}",
+        "device": device_name,
+        "update_mix": update_mix,
+        "updates_offered": updates,
+        "offered_qps": round(report.offered_qps, 2),
+        "achieved_qps": round(report.achieved_qps, 2),
+        "goodput_fraction": round(
+            report.achieved_qps / report.offered_qps, 4
+        ) if report.offered_qps else 0.0,
+        "shed_fraction": round(report.shed_fraction, 4),
+        "p50_us": round(_percentile(query_latencies, 0.50) * 1e6, 4),
+        "p99_us": round(_percentile(query_latencies, 0.99) * 1e6, 4),
+        "segments": writer.index.num_segments,
+        "seals": len(scheduler.seals) - preload_seals,
+        "merges": len(scheduler.records) - preload_merges,
+        "sealed_bytes": writer.sealed_bytes,
+        "index_write_bytes": writer.index_write_bytes,
+        "bytes_written_by_tier": {
+            str(tier): nbytes
+            for tier, nbytes in sorted(
+                writer.bytes_written_by_tier.items()
+            )
+        },
+        "write_amplification": round(writer.write_amplification, 4),
+        "maintenance_us": round(
+            (scheduler.busy_seconds - preload_maintenance) * 1e6, 4
+        ),
+    }
+
+
+def asymmetry_summary(points) -> list:
+    """Per mix: how much worse SCM fares than DRAM on the same load."""
+    by_key = {(p["device"], p["update_mix"]): p for p in points}
+    rows = []
+    for mix in sorted({p["update_mix"] for p in points}):
+        scm = by_key[("scm", mix)]
+        dram = by_key[("dram", mix)]
+        rows.append({
+            "update_mix": mix,
+            "p99_ratio_scm_over_dram": round(
+                scm["p99_us"] / dram["p99_us"], 3
+            ) if dram["p99_us"] else None,
+            "maintenance_ratio_scm_over_dram": round(
+                scm["maintenance_us"] / dram["maintenance_us"], 3
+            ) if dram["maintenance_us"] else None,
+            "goodput_gap": round(
+                dram["goodput_fraction"] - scm["goodput_fraction"], 4
+            ),
+        })
+    return rows
+
+
+def _print_points(title, points) -> None:
+    print(f"\n== {title} ==")
+    print(f"{'point':<14}{'p50 us':>9}{'p99 us':>9}"
+          f"{'shed':>7}{'seals':>7}{'merges':>7}{'WA':>7}"
+          f"{'maint us':>10}")
+    for point in points:
+        print(f"{point['label']:<14}"
+              f"{point['p50_us']:>9.3f}{point['p99_us']:>9.3f}"
+              f"{point['shed_fraction']:>6.1%}{point['seals']:>7}"
+              f"{point['merges']:>7}{point['write_amplification']:>7}"
+              f"{point['maintenance_us']:>10.3f}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--docs", type=int, default=800,
+                        help="pre-loaded corpus size")
+    parser.add_argument("--vocab", type=int, default=32,
+                        help="vocabulary size (round-robin coverage)")
+    parser.add_argument("--buffer", type=int, default=16,
+                        help="write-buffer capacity in documents")
+    parser.add_argument("--fanout", type=int, default=4,
+                        help="merge-policy fanout")
+    parser.add_argument("--queries", type=int, default=600,
+                        help="requests per sweep point")
+    parser.add_argument("--unique", type=int, default=24,
+                        help="unique queries in the Zipf log")
+    parser.add_argument("-k", type=int, default=10)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="logical serving workers")
+    parser.add_argument("--queue", type=int, default=32,
+                        help="admission queue capacity")
+    parser.add_argument("--load", type=float, default=0.8,
+                        help="offered load as a fraction of the "
+                             "calibrated read-only capacity")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--out", default=_DEFAULT_OUT,
+                        help="JSON output path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer requests/points)")
+    args = parser.parse_args(argv)
+
+    mixes = UPDATE_MIXES
+    if args.smoke:
+        args.docs = min(args.docs, 300)
+        args.queries = min(args.queries, 160)
+        mixes = SMOKE_MIXES
+
+    mean_service = calibrate(args)
+    capacity_qps = args.workers / mean_service
+    rate = args.load * capacity_qps
+    print(f"calibrated: mean query service {mean_service * 1e6:.2f} us, "
+          f"read-only capacity ~{capacity_qps:.0f} qps; "
+          f"offering {rate:.0f} qps ({args.load:g}x)")
+
+    points = [
+        run_point(device_name, mix, rate, args)
+        for device_name in ("scm", "dram")
+        for mix in mixes
+    ]
+    summary = asymmetry_summary(points)
+
+    payload = {
+        "benchmark": "bench_ingest",
+        "config": {
+            "docs": args.docs,
+            "vocab": args.vocab,
+            "buffer_docs": args.buffer,
+            "fanout": args.fanout,
+            "num_requests": args.queries,
+            "unique_queries": args.unique,
+            "k": args.k,
+            "workers": args.workers,
+            "queue_capacity": args.queue,
+            "offered_qps": round(rate, 2),
+            "seed": args.seed,
+            "smoke": args.smoke,
+        },
+        "calibration": {
+            "mean_query_service_us": round(mean_service * 1e6, 4),
+            "capacity_qps": round(capacity_qps, 2),
+        },
+        "points": points,
+        "scm_vs_dram": summary,
+    }
+
+    _print_points("update-mix sweep (scm then dram)", points)
+    print("\n== SCM vs DRAM, same offered load ==")
+    for row in summary:
+        print(f"mix={row['update_mix']:<5g} "
+              f"p99 x{row['p99_ratio_scm_over_dram']} "
+              f"maintenance x{row['maintenance_ratio_scm_over_dram']} "
+              f"goodput gap {row['goodput_gap']:+.2%}")
+
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,16 @@ from repro.index import (
     InvertedIndex,
 )
 from repro.index.io import load_index, save_index
+from repro.live import (
+    LiveIndexWriter,
+    LiveServingTarget,
+    LiveStatistics,
+    MemSegment,
+    MergePolicy,
+    MergeScheduler,
+    SegmentedIndex,
+    UpdateResult,
+)
 from repro.observability import (
     NULL_OBSERVER,
     MetricsRegistry,
@@ -126,6 +136,15 @@ __all__ = [
     # workloads
     "make_corpus",
     "QuerySampler",
+    # live index mutation
+    "SegmentedIndex",
+    "LiveIndexWriter",
+    "LiveServingTarget",
+    "LiveStatistics",
+    "MemSegment",
+    "MergePolicy",
+    "MergeScheduler",
+    "UpdateResult",
     # fault injection
     "FaultConfig",
     "FaultyEngine",

@@ -46,15 +46,16 @@ class BossSession:
     a guaranteed pass-through.
     """
 
-    def __init__(self, config: BossConfig = BossConfig(),
+    def __init__(self, config: Optional[BossConfig] = None,
                  observer: Observer = NULL_OBSERVER,
                  faults=None) -> None:
-        self._config = config
+        self._config = BossConfig() if config is None else config
         self._observer = observer
         self._faults = faults
         self._index: Optional[InvertedIndex] = None
         self._accelerator: Optional[BossAccelerator] = None
         self._programs: Dict[str, DecompressorProgram] = {}
+        self._mapped_bytes = 0
         self.mai = MemoryAccessInterface()
 
     @property
@@ -78,9 +79,16 @@ class BossSession:
         """
         if isinstance(index, (str, Path)):
             index = load_index(index)
+        from repro.live.segments import SegmentedIndex
+
         self._index = index
-        self._accelerator = BossAccelerator(index, self._config,
-                                            observer=self._observer)
+        if isinstance(index, SegmentedIndex):
+            # A live index is its own execution engine: it owns one
+            # accelerator per sealed segment and merges their top-k.
+            self._accelerator = index
+        else:
+            self._accelerator = BossAccelerator(index, self._config,
+                                                observer=self._observer)
         if self._faults is not None and not self._faults.zero_fault:
             from repro.faults import FaultyEngine
 
@@ -93,11 +101,8 @@ class BossSession:
             self._programs[program.name] = program
         # Install the physical mapping of the index region in the MAI:
         # identity-mapped huge pages over the allocated span.
-        span = index.layout.allocated_bytes
-        if span:
-            page = self.mai.page_size
-            mapped = ((span + page - 1) // page) * page
-            self.mai.map_range(0, 0, mapped)
+        self._mapped_bytes = 0
+        self._ensure_mapped()
 
     @property
     def initialized(self) -> bool:
@@ -190,7 +195,13 @@ class BossSession:
         """
         from repro.core.query import AndNode, OrNode, TermNode
         from repro.core.topk import TopKQueue
+        from repro.live.segments import SegmentedIndex
 
+        if isinstance(self._index, SegmentedIndex):
+            raise QueryError(
+                "host-split execution beyond 16 terms requires a "
+                "monolithic index, not a live segmented one"
+            )
         if not isinstance(node, (AndNode, OrNode)) or not all(
             isinstance(c, TermNode) for c in node.children
         ):
@@ -280,17 +291,44 @@ class BossSession:
         return result
 
     def comp_types(self, terms: List[str]) -> List[str]:
-        """The ``compType`` array for a term list."""
+        """The ``compType`` array for a term list.
+
+        A live (segmented) index resolves each term against its newest
+        sealed segment; terms living only in the write buffer are
+        host-resident and uncompressed, so they contribute no entry.
+        """
         self._require_init()
+        if hasattr(self._index, "comp_types"):
+            return self._index.comp_types(terms)
         return [self._index.posting_list(t).scheme for t in terms]
 
     def list_addresses(self, terms: List[str]) -> List[int]:
         """The ``listAddr`` array: each list's base address in the pool."""
         self._require_init()
+        self._ensure_mapped()
+        if hasattr(self._index, "list_address"):
+            return [
+                self.mai.translate(self._index.list_address(t))
+                for t in terms
+            ]
         return [
             self.mai.translate(self._index.posting_list(t).region.base)
             for t in terms
         ]
+
+    def _ensure_mapped(self) -> None:
+        """Grow the identity mapping to the current pool span.
+
+        Monolithic indexes map once at ``init()``; a live index's pool
+        grows with every seal, so the mapping is re-checked lazily.
+        """
+        span = self._index.layout.allocated_bytes
+        if span <= self._mapped_bytes:
+            return
+        page = self.mai.page_size
+        mapped = ((span + page - 1) // page) * page
+        self.mai.map_range(0, 0, mapped)
+        self._mapped_bytes = mapped
 
     def _require_init(self) -> None:
         if self._accelerator is None:

@@ -73,9 +73,9 @@ class IIUAccelerator:
     """Functional + traffic model of the IIU design."""
 
     def __init__(self, index: InvertedIndex,
-                 config: IIUConfig = IIUConfig()) -> None:
+                 config: Optional[IIUConfig] = None) -> None:
         self._index = index
-        self._config = config
+        self._config = IIUConfig() if config is None else config
 
     @property
     def index(self) -> InvertedIndex:

@@ -48,9 +48,9 @@ class LuceneEngine:
     """Host-side software search over the pooled SCM index."""
 
     def __init__(self, index: InvertedIndex,
-                 config: LuceneConfig = LuceneConfig()) -> None:
+                 config: Optional[LuceneConfig] = None) -> None:
         self._index = index
-        self._config = config
+        self._config = LuceneConfig() if config is None else config
         # Lucene's dynamic pruning is document-level WAND without the
         # hardware block-max score estimation.
         self._executor = BossAccelerator(

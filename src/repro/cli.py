@@ -164,9 +164,38 @@ def _build_parser() -> argparse.ArgumentParser:
                             "deadline admission policy)")
     serve.add_argument("-k", type=int, default=10)
     serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--update-mix", type=float, default=0.0,
+                       help="fraction of requests that mutate a live "
+                            "index (adds + oldest-doc deletes); runs "
+                            "the serving timeline on a virtual clock "
+                            "with background merges interleaved")
+    serve.add_argument("--device", choices=("scm", "dram"),
+                       default="scm",
+                       help="maintenance device model for --update-mix")
     serve.add_argument("--json", action="store_true",
                        help="emit the serving report as JSON")
     _add_fault_arguments(serve)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="live-index ingest: buffered adds, seals, tiered merges")
+    ingest.add_argument("--docs", type=int, default=2000,
+                        help="documents to ingest")
+    ingest.add_argument("--delete-every", type=int, default=0,
+                        help="delete the oldest live doc every N adds "
+                             "(0 = append-only)")
+    ingest.add_argument("--buffer", type=int, default=128,
+                        help="write-buffer capacity in documents")
+    ingest.add_argument("--fanout", type=int, default=4,
+                        help="merge-policy fanout (segments per merge)")
+    ingest.add_argument("--vocab", type=int, default=64,
+                        help="synthetic vocabulary size")
+    ingest.add_argument("--device", choices=("scm", "dram"),
+                        default="scm",
+                        help="device model timing the seals and merges")
+    ingest.add_argument("--seed", type=int, default=1)
+    ingest.add_argument("--json", action="store_true",
+                        help="emit the ingest report as JSON")
 
     sub.add_parser("demo", help="synthetic-corpus engine comparison")
     return parser
@@ -558,6 +587,39 @@ def _cmd_bench_cluster(args) -> int:
     return 0
 
 
+def _live_device(name: str):
+    """Maintenance device model for the live-index commands."""
+    from repro.scm.device import DDR4_4CH, OPTANE_NODE_4CH
+
+    return OPTANE_NODE_4CH if name == "scm" else DDR4_4CH
+
+
+def _build_live_writer(seed: int, num_docs: int, vocab_size: int,
+                       device, buffer_docs: int = 128, fanout: int = 4):
+    """A live writer pre-loaded with a synthetic corpus.
+
+    Document ``i`` always contains vocabulary term ``i mod vocab_size``
+    (plus seeded random filler), so every term keeps live coverage even
+    under oldest-document churn — queries over the vocabulary never hit
+    a dead term.
+    """
+    import random as _random
+
+    from repro.live import LiveIndexWriter, MergePolicy
+
+    vocab = [f"t{i}" for i in range(vocab_size)]
+    writer = LiveIndexWriter(device=device, buffer_docs=buffer_docs,
+                             policy=MergePolicy(fanout=fanout))
+    rng = _random.Random(f"live-corpus:{seed}")
+    for i in range(num_docs):
+        length = rng.randint(4, 24)
+        tokens = [vocab[i % vocab_size]]
+        tokens += [rng.choice(vocab) for _ in range(length - 1)]
+        writer.add_document(tokens)
+    writer.flush()
+    return writer, vocab
+
+
 def _cmd_serve(args) -> int:
     """``serve``: sustained open-loop load through the serving layer."""
     import json
@@ -565,6 +627,8 @@ def _cmd_serve(args) -> int:
     from repro.errors import ConfigurationError
     from repro.serving import QueryServer, ServingConfig, zipf_workload
 
+    if args.update_mix:
+        return _serve_live(args)
     if args.shards:
         if args.index:
             raise ConfigurationError(
@@ -632,6 +696,148 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _serve_live(args) -> int:
+    """``serve --update-mix``: mixed query/mutation load on a live index.
+
+    Deterministic end to end: the workload is a pure function of the
+    seed, service times come from the modeled device (updates occupy
+    maintenance busy-windows; queries queue behind them), and the
+    shared virtual clock never reads wall time.
+    """
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.live import LiveServingTarget
+    from repro.serving import QueryServer, ServingConfig, zipf_workload
+
+    if args.shards or args.index:
+        raise ConfigurationError(
+            "--update-mix serves a live synthetic corpus; "
+            "drop --index/--shards"
+        )
+    device = _live_device(args.device)
+    num_docs = max(64, int(1600 * args.scale))
+    writer, vocab = _build_live_writer(args.seed, num_docs,
+                                       vocab_size=32, device=device)
+    target = LiveServingTarget(writer)
+    config = ServingConfig(
+        workers=args.workers,
+        queue_capacity=args.queue,
+        admission=args.admission,
+        deadline_seconds=(args.deadline_ms / 1e3
+                          if args.deadline_ms is not None else None),
+        k=args.k,
+    )
+    requests = zipf_workload(vocab, args.queries, args.rate,
+                             unique_queries=args.unique, seed=args.seed,
+                             update_mix=args.update_mix)
+    server = QueryServer(target, config,
+                         service_time=target.service_time,
+                         clock=writer.clock)
+    report = server.serve(requests).report
+    updates = sum(1 for r in requests if r.update is not None)
+
+    live_stats = {
+        "update_mix": args.update_mix,
+        "updates_offered": updates,
+        "device": args.device,
+        "live_docs": writer.index.num_docs,
+        "segments": writer.index.num_segments,
+        "seals": len(writer.scheduler.seals),
+        "merges": len(writer.scheduler.records),
+        "write_amplification": round(writer.write_amplification, 4),
+        "index_write_bytes": writer.index_write_bytes,
+        "maintenance_seconds": writer.scheduler.busy_seconds,
+    }
+    if args.json:
+        payload = dict(report.to_dict(), rate_qps=args.rate,
+                       admission=args.admission, workers=args.workers,
+                       queue_capacity=args.queue, **live_stats)
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{args.queries} requests ({updates} updates, "
+          f"{args.update_mix:.0%} mix) at {args.rate:g} qps offered on "
+          f"{args.device} (live index, {num_docs} initial docs)")
+    print(f"served {report.served}, shed {report.shed} "
+          f"({report.shed_fraction:.1%})")
+    print(f"latency ms: p50={report.p50_latency_seconds * 1e3:.3f} "
+          f"p95={report.p95_latency_seconds * 1e3:.3f} "
+          f"p99={report.p99_latency_seconds * 1e3:.3f}")
+    print(f"live index: {live_stats['live_docs']} docs in "
+          f"{live_stats['segments']} segments after "
+          f"{live_stats['seals']} seals + {live_stats['merges']} merges; "
+          f"write amplification {live_stats['write_amplification']:.2f}")
+    print(f"maintenance: {writer.index_write_bytes} B written, "
+          f"{writer.scheduler.busy_seconds * 1e3:.3f} ms of device time")
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    """``ingest``: drive the live index and report write traffic."""
+    import json
+    import random as _random
+
+    from repro.index.validate import validate_segmented
+    from repro.live import LiveIndexWriter, MergePolicy
+    from repro.scm.traffic import AccessClass
+
+    device = _live_device(args.device)
+    vocab = [f"t{i}" for i in range(args.vocab)]
+    writer = LiveIndexWriter(device=device, buffer_docs=args.buffer,
+                             policy=MergePolicy(fanout=args.fanout))
+    rng = _random.Random(f"ingest:{args.seed}")
+    deleted = 0
+    for i in range(args.docs):
+        length = rng.randint(4, 24)
+        tokens = [vocab[i % args.vocab]]
+        tokens += [rng.choice(vocab) for _ in range(length - 1)]
+        writer.add_document(tokens)
+        if (args.delete_every and (i + 1) % args.delete_every == 0
+                and writer.index.num_docs > 1):
+            writer.delete_oldest()
+            deleted += 1
+    writer.flush()
+    report = validate_segmented(writer.index, check_scores=False)
+
+    tiers = writer.bytes_written_by_tier
+    payload = {
+        "docs_ingested": args.docs,
+        "docs_deleted": deleted,
+        "live_docs": writer.index.num_docs,
+        "segments": writer.index.num_segments,
+        "seals": len(writer.scheduler.seals),
+        "merges": len(writer.scheduler.records),
+        "device": args.device,
+        "sealed_bytes": writer.sealed_bytes,
+        "index_write_bytes": writer.index_write_bytes,
+        "merge_read_bytes": writer.traffic.bytes_for(AccessClass.LD_LIST),
+        "write_amplification": round(writer.write_amplification, 4),
+        "bytes_by_tier": {str(t): b for t, b in sorted(tiers.items())},
+        "maintenance_seconds": writer.scheduler.busy_seconds,
+        "validation_ok": report.ok,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"ingested {args.docs} docs ({deleted} deleted) on "
+          f"{args.device}: {payload['live_docs']} live in "
+          f"{payload['segments']} segments")
+    print(f"seals: {payload['seals']}  merges: {payload['merges']}  "
+          f"validation: {'ok' if report.ok else 'FAILED'}")
+    print(f"ST Index bytes: {payload['index_write_bytes']} "
+          f"(tier-0 {payload['sealed_bytes']}), write amplification "
+          f"{payload['write_amplification']:.2f}")
+    for tier, num_bytes in sorted(tiers.items()):
+        print(f"  tier {tier}: {num_bytes} B")
+    print(f"merge reads: {payload['merge_read_bytes']} B (LD List); "
+          f"device time {writer.scheduler.busy_seconds * 1e3:.3f} ms")
+    if not report.ok:
+        for error in report.errors[:5]:
+            print(f"  error: {error}")
+        return 1
+    return 0
+
+
 def _cmd_demo(_args) -> int:
     from repro.workloads import QuerySampler, make_corpus
 
@@ -674,6 +880,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": _cmd_metrics,
         "bench": _cmd_bench,
         "serve": _cmd_serve,
+        "ingest": _cmd_ingest,
         "demo": _cmd_demo,
     }
     try:

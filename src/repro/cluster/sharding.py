@@ -86,7 +86,7 @@ class ShardedCorpus:
 
 
 def shard_documents(documents: Iterable[Sequence[str]], num_shards: int,
-                    params: BM25Parameters = BM25Parameters(),
+                    params: Optional[BM25Parameters] = None,
                     schemes: Optional[Sequence[str]] = None,
                     replication_factor: int = 1) -> ShardedCorpus:
     """Index ``documents`` into ``num_shards`` docID-interval shards.
@@ -99,6 +99,7 @@ def shard_documents(documents: Iterable[Sequence[str]], num_shards: int,
     """
     if num_shards <= 0:
         raise ConfigurationError("need at least one shard")
+    params = BM25Parameters() if params is None else params
     docs: List[List[str]] = [list(tokens) for tokens in documents]
     if len(docs) < num_shards:
         raise ConfigurationError(

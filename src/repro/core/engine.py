@@ -100,12 +100,12 @@ class BossAccelerator:
     """Near-data search accelerator bound to one shard's inverted index."""
 
     def __init__(self, index: InvertedIndex,
-                 config: BossConfig = BossConfig(),
+                 config: Optional[BossConfig] = None,
                  observer: Observer = NULL_OBSERVER,
                  fast_path: bool = True,
                  decoded_cache=None) -> None:
         self._index = index
-        self._config = config
+        self._config = BossConfig() if config is None else config
         self._observer = observer
         #: When set (a list), every block payload fetch is appended as
         #: (term, block_index, bytes) — input to the cache simulator.

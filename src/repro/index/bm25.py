@@ -61,18 +61,18 @@ class BM25Scorer:
     """
 
     def __init__(self, doc_lengths: Sequence[int],
-                 params: BM25Parameters = BM25Parameters()) -> None:
+                 params: "BM25Parameters" = None) -> None:
         if not doc_lengths:
             raise ConfigurationError("corpus must contain at least one document")
         if any(length <= 0 for length in doc_lengths):
             raise ConfigurationError("document lengths must be positive")
-        self._params = params
+        self._params = BM25Parameters() if params is None else params
         self._doc_lengths = list(doc_lengths)
         self._num_docs = len(doc_lengths)
         self._avgdl = sum(doc_lengths) / len(doc_lengths)
         # Per-document metadata: the paper's 4-byte pre-computed
         # normalizer k1 * (1 - b + b * |D| / avgdl).
-        k1, b = params.k1, params.b
+        k1, b = self._params.k1, self._params.b
         self._normalizers = [
             k1 * (1.0 - b + b * length / self._avgdl)
             for length in self._doc_lengths
@@ -86,6 +86,17 @@ class BM25Scorer:
     def num_docs(self) -> int:
         """Corpus size ``N``."""
         return self._num_docs
+
+    @property
+    def id_space(self) -> int:
+        """Size of the docID domain the scorer can normalize.
+
+        Equals :attr:`num_docs` for a plain corpus scorer; live-index
+        scorers (:class:`repro.live.stats.LiveBM25Scorer`) keep
+        normalizer slots for deleted documents, so their id space can
+        exceed the live document count.
+        """
+        return len(self._normalizers)
 
     @property
     def avgdl(self) -> float:

@@ -69,16 +69,24 @@ class IndexBuilder:
         Candidate compression schemes for the hybrid selector; ``None``
         uses the paper's five-scheme set. Passing a single-element
         sequence pins every list to one scheme (useful for ablations).
+    scorer:
+        Optional pre-built scorer overriding the one derived from the
+        declared document lengths. The live-index layer uses this to
+        seal segments whose postings carry *global* docIDs while their
+        BM25 statistics (N, avgdl, normalizers) reflect the live corpus
+        rather than the segment's own contents.
     """
 
-    def __init__(self, params: BM25Parameters = BM25Parameters(),
+    def __init__(self, params: Optional[BM25Parameters] = None,
                  schemes: Optional[Sequence[str]] = None,
-                 global_stats: Optional["GlobalStatistics"] = None) -> None:
-        self._params = params
+                 global_stats: Optional["GlobalStatistics"] = None,
+                 scorer: Optional[BM25Scorer] = None) -> None:
+        self._params = BM25Parameters() if params is None else params
         self._selector = HybridSelector(schemes)
         self._doc_lengths: List[int] = []
         self._postings: Dict[str, PostingList] = {}
         self._finished = False
+        self._scorer = scorer
         #: Corpus-wide statistics for sharded deployments: when a shard
         #: holds only a docID interval, its local dfs would skew the IDF;
         #: the root node distributes the global numbers instead (the
@@ -133,11 +141,14 @@ class IndexBuilder:
         """Finalize: compress every list and lay it out in SCM space."""
         if self._finished:
             raise InvertedIndexError("builder already finished")
-        if not self._doc_lengths:
+        if not self._doc_lengths and self._scorer is None:
             raise InvertedIndexError("no documents indexed")
         self._finished = True
 
-        scorer = BM25Scorer(self._doc_lengths, self._params)
+        if self._scorer is not None:
+            scorer = self._scorer
+        else:
+            scorer = BM25Scorer(self._doc_lengths, self._params)
         layout = AddressSpaceLayout()
         lists: Dict[str, CompressedPostingList] = {}
 
@@ -146,18 +157,22 @@ class IndexBuilder:
         for term in sorted(self._postings):
             posting_list = self._postings[term]
             max_doc = posting_list.doc_ids[-1]
-            if max_doc >= scorer.num_docs:
+            if max_doc >= scorer.id_space:
                 raise InvertedIndexError(
                     f"term {term!r} references docID {max_doc} beyond corpus "
-                    f"of {scorer.num_docs} documents"
+                    f"of {scorer.id_space} documents"
                 )
             lists[term] = self._compress_list(term, posting_list, scorer,
                                               layout)
 
+        if self._doc_lengths:
+            total_tokens = sum(self._doc_lengths)
+        else:
+            total_tokens = int(round(scorer.avgdl * scorer.num_docs))
         stats = DocumentStats(
-            num_docs=scorer.num_docs,
+            num_docs=scorer.id_space,
             avgdl=scorer.avgdl,
-            total_tokens=sum(self._doc_lengths),
+            total_tokens=total_tokens,
         )
         return InvertedIndex(lists, scorer, layout, stats)
 

@@ -172,3 +172,109 @@ def validate_index(index: InvertedIndex,
                 f"corpus-local value {local_idf} (shard-global statistics?)"
             )
     return report
+
+
+def validate_segmented(segmented,
+                       check_scores: bool = True) -> ValidationReport:
+    """Check the live-index invariants of a ``SegmentedIndex``.
+
+    Runs :func:`validate_index` over every sealed segment (each is a
+    complete index whose baked metadata must be self-consistent with
+    its own scorer snapshot), then checks the cross-segment invariants
+    the read path relies on:
+
+    * every docID lives in at most one place (one segment's payload, or
+      the write buffer);
+    * tombstones reference documents the segment actually holds, and
+      agree with the liveness bitmap in the statistics;
+    * recorded per-document lengths match the statistics table;
+    * the global statistics are exactly the sum over parts: live count,
+      live token total, and every term's live document frequency.
+
+    The merge scheduler runs this after every compaction (with
+    ``check_scores=False`` for speed); the differential tests run the
+    full pass.
+    """
+    report = ValidationReport()
+    stats = segmented.stats
+
+    owner = {}
+    for segment in segmented.segments:
+        label = f"segment {segment.segment_id}"
+        sub = validate_index(segment.index, check_scores=check_scores)
+        report.terms_checked += sub.terms_checked
+        report.blocks_checked += sub.blocks_checked
+        report.postings_checked += sub.postings_checked
+        for error in sub.errors:
+            report._error(f"{label}: {error}")
+
+        for doc_id in segment.tombstones:
+            if doc_id not in segment.doc_lengths:
+                report._error(
+                    f"{label}: tombstone for docID {doc_id} it never held"
+                )
+            if stats.is_live(doc_id):
+                report._error(
+                    f"{label}: docID {doc_id} tombstoned but still live "
+                    f"in the statistics"
+                )
+        for doc_id, length in segment.doc_lengths.items():
+            if doc_id in owner:
+                report._error(
+                    f"{label}: docID {doc_id} also held by {owner[doc_id]}"
+                )
+            owner[doc_id] = label
+            if (doc_id not in segment.tombstones
+                    and not stats.is_live(doc_id)):
+                report._error(
+                    f"{label}: docID {doc_id} not tombstoned yet dead "
+                    f"in the statistics"
+                )
+            if stats.doc_length(doc_id) != length:
+                report._error(
+                    f"{label}: docID {doc_id} length {length} != "
+                    f"statistics {stats.doc_length(doc_id)}"
+                )
+
+    live_docs = 0
+    live_tokens = 0
+    live_dfs = {}
+    for segment in segmented.segments:
+        for doc_id in segment.doc_lengths:
+            if doc_id in segment.tombstones:
+                continue
+            live_docs += 1
+            live_tokens += segment.doc_lengths[doc_id]
+            for term in segment.doc_terms[doc_id]:
+                live_dfs[term] = live_dfs.get(term, 0) + 1
+    for doc_id in segmented.memseg.doc_ids():
+        if doc_id in owner:
+            report._error(
+                f"buffer: docID {doc_id} also held by {owner[doc_id]}"
+            )
+        if not stats.is_live(doc_id):
+            report._error(f"buffer: docID {doc_id} dead in the statistics")
+        live_docs += 1
+        live_tokens += segmented.memseg.length_of(doc_id)
+        for term in segmented.memseg.terms_of(doc_id):
+            live_dfs[term] = live_dfs.get(term, 0) + 1
+
+    if live_docs != stats.num_docs:
+        report._error(
+            f"global: live count {stats.num_docs} != sum over parts "
+            f"{live_docs}"
+        )
+    if live_tokens != stats.total_tokens:
+        report._error(
+            f"global: live token total {stats.total_tokens} != sum over "
+            f"parts {live_tokens}"
+        )
+    for term in set(live_dfs) | set(stats.terms):
+        expected = live_dfs.get(term, 0)
+        recorded = stats.df(term)
+        if expected != recorded:
+            report._error(
+                f"global: term {term!r} df {recorded} != sum over parts "
+                f"{expected}"
+            )
+    return report

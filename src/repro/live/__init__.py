@@ -1,0 +1,52 @@
+"""Live index mutation: LSM-style segments over the immutable pipeline.
+
+Layering::
+
+    LiveIndexWriter          ingest driver + SCM write accounting
+      ├── SegmentedIndex     engine-facing read API over segments
+      │     ├── MemSegment   DRAM write buffer (the memtable)
+      │     ├── Segment ...  sealed immutable indexes (global docIDs)
+      │     └── LiveStatistics   corpus-wide BM25 stats, versioned
+      └── MergeScheduler     tiered compaction on a modeled device
+
+    LiveServingTarget        adapter for repro.serving.QueryServer
+"""
+
+from repro.live.memseg import MemSegment
+from repro.live.merge import (
+    MergePlan,
+    MergePolicy,
+    MergeRecord,
+    MergeScheduler,
+    merge_segments,
+)
+from repro.live.segments import (
+    Segment,
+    SegmentedIndex,
+    build_segment,
+    prune_query,
+)
+from repro.live.stats import LiveBM25Scorer, LiveStatistics
+from repro.live.writer import (
+    LiveIndexWriter,
+    LiveServingTarget,
+    UpdateResult,
+)
+
+__all__ = [
+    "LiveBM25Scorer",
+    "LiveIndexWriter",
+    "LiveServingTarget",
+    "LiveStatistics",
+    "MemSegment",
+    "MergePlan",
+    "MergePolicy",
+    "MergeRecord",
+    "MergeScheduler",
+    "Segment",
+    "SegmentedIndex",
+    "UpdateResult",
+    "build_segment",
+    "merge_segments",
+    "prune_query",
+]

@@ -1,0 +1,554 @@
+"""The segmented live index: immutable segments + write buffer + stats.
+
+:class:`SegmentedIndex` is the engine-facing face of the live index. It
+layers mutability over the existing immutable machinery the way an LSM
+tree does over sorted runs:
+
+* adds land in a :class:`~repro.live.memseg.MemSegment` write buffer;
+* sealing replays the buffer through :class:`~repro.index.builder.
+  IndexBuilder` (hybrid codec selection, 128-posting blocks, 19-byte
+  metadata — the full offline pipeline) into an immutable
+  :class:`Segment` holding a *contiguous, never-reused* global docID
+  interval, the same structure the cluster layer gives shards;
+* deletes set a tombstone bit on the owning segment (buffered documents
+  are simply dropped) and immediately update the live statistics;
+* queries fan out across segments, each executed by a real
+  :class:`~repro.core.engine.BossAccelerator` over the segment's
+  compressed lists, then merge per-segment top-k exactly.
+
+**Score identity.** Every segment scores with *global* BM25 statistics
+(:mod:`repro.live.stats`): live N and per-term df drive IDF, live avgdl
+drives the normalizers. A segment sealed at statistics version V has
+byte-exact metadata while the corpus stays at V; once the corpus moves
+on, the segment is *stale* — its baked IDFs and block max-scores no
+longer match the live statistics, and an under-estimated block max
+would make early termination drop true results. Stale segments are
+therefore queried through a rebuilt **view**: same compressed payloads,
+but live IDFs and conservative per-block score bounds derived from the
+per-block maximum term frequency recorded at seal time (an upper bound
+for every live document, since the term score is monotone increasing in
+tf and decreasing in the normalizer).
+
+**Exact top-k under tombstones.** Each segment is searched for
+``k + t`` results, where ``t`` is the segment's tombstone count: at
+most ``t`` deleted documents can outrank a surviving one, so the
+segment's true live top-k always survives the overfetch. Hits are
+tombstone-filtered, truncated to ``k``, and merged across segments by
+``(-score, docID)`` — the same tie rule as the monolithic top-k queue
+and the cluster root.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.engine import BossAccelerator, BossConfig
+from repro.core.query import (
+    AndNode,
+    OrNode,
+    QueryNode,
+    TermNode,
+    parse_query,
+)
+from repro.core.result import ScoredDocument, SearchResult
+from repro.errors import InvertedIndexError, QueryError
+from repro.index.blocks import BLOCK_SIZE, Block
+from repro.index.builder import IndexBuilder
+from repro.index.index import (
+    CompressedPostingList,
+    DocumentStats,
+    InvertedIndex,
+)
+from repro.live.memseg import MemSegment
+from repro.live.stats import LiveStatistics
+from repro.observability.observer import NULL_OBSERVER, Observer
+from repro.scm.traffic import TrafficCounter
+from repro.sim.metrics import WorkCounters
+
+
+class Segment:
+    """One immutable sealed segment plus its live-index bookkeeping."""
+
+    def __init__(self, segment_id: int, index: InvertedIndex, tier: int,
+                 stats_version: int, doc_lengths: Dict[int, int],
+                 doc_terms: Dict[int, Tuple[str, ...]],
+                 block_max_tfs: Dict[str, List[int]]) -> None:
+        self.segment_id = segment_id
+        self.index = index
+        #: Merge-tier: 0 for a sealed buffer, max(inputs)+1 for a merge.
+        self.tier = tier
+        #: Statistics version the segment's metadata was baked at.
+        self.stats_version = stats_version
+        #: Global docID -> length, for every document in the payload.
+        self.doc_lengths = doc_lengths
+        #: Global docID -> distinct terms (the forward index; deletes
+        #: need it to decrement live dfs).
+        self.doc_terms = doc_terms
+        #: Deleted docIDs still physically present in the payload.
+        self.tombstones: Set[int] = set()
+        #: Per-term, per-block maximum term frequency recorded at seal
+        #: time — the input for conservative stale-view score bounds.
+        self.block_max_tfs = block_max_tfs
+        #: Byte offset of this segment's region inside the shared pool
+        #: (assigned when the segment is installed).
+        self.pool_base = 0
+
+    @property
+    def num_docs(self) -> int:
+        """Documents physically present (live + tombstoned)."""
+        return len(self.doc_lengths)
+
+    @property
+    def live_docs(self) -> int:
+        return len(self.doc_lengths) - len(self.tombstones)
+
+    @property
+    def min_doc_id(self) -> int:
+        return min(self.doc_lengths)
+
+    @property
+    def max_doc_id(self) -> int:
+        return max(self.doc_lengths)
+
+    @property
+    def nbytes(self) -> int:
+        """Segment footprint: compressed payloads + block metadata."""
+        total = 0
+        for term in self.index.terms:
+            posting_list = self.index.posting_list(term)
+            total += posting_list.compressed_bytes
+            total += posting_list.metadata_bytes
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Segment id={self.segment_id} tier={self.tier} "
+            f"docs={self.live_docs}/{self.num_docs} bytes={self.nbytes}>"
+        )
+
+
+def build_segment(segment_id: int, tier: int,
+                  postings_by_term: Dict[str, Sequence[Tuple[int, int]]],
+                  doc_lengths: Dict[int, int],
+                  doc_terms: Dict[int, Tuple[str, ...]],
+                  stats: LiveStatistics,
+                  schemes: Optional[Sequence[str]] = None) -> Segment:
+    """Seal postings (global docIDs) into an immutable :class:`Segment`.
+
+    The compressed output is byte-identical to a fresh
+    :class:`~repro.index.builder.IndexBuilder` build of the same
+    postings under the same statistics: codec selection depends only on
+    the d-gap stream, and the scorer/IDF inputs are snapshots of the
+    live corpus statistics.
+    """
+    if not postings_by_term:
+        raise InvertedIndexError("cannot seal an empty segment")
+    builder = IndexBuilder(params=stats.params, schemes=schemes,
+                           global_stats=stats.global_statistics(),
+                           scorer=stats.scorer())
+    block_max_tfs: Dict[str, List[int]] = {}
+    for term in sorted(postings_by_term):
+        postings = list(postings_by_term[term])
+        builder.add_postings(term, postings)
+        block_max_tfs[term] = [
+            max(tf for _doc, tf in postings[start:start + BLOCK_SIZE])
+            for start in range(0, len(postings), BLOCK_SIZE)
+        ]
+    index = builder.build()
+    return Segment(
+        segment_id=segment_id,
+        index=index,
+        tier=tier,
+        stats_version=stats.version,
+        doc_lengths=dict(doc_lengths),
+        doc_terms=dict(doc_terms),
+        block_max_tfs=block_max_tfs,
+    )
+
+
+def prune_query(node: QueryNode,
+                present: Callable[[str], bool]) -> Optional[QueryNode]:
+    """Restrict a query to terms a segment actually holds.
+
+    Same algebra as the cluster root's per-shard pruning: a missing term
+    annihilates an AND (its intersection is empty there) and drops out
+    of an OR. Returns ``None`` when nothing in the segment can match.
+    """
+    if isinstance(node, TermNode):
+        return node if present(node.term) else None
+    pruned = [prune_query(child, present) for child in node.children]
+    if isinstance(node, AndNode):
+        if any(child is None for child in pruned):
+            return None
+        return AndNode(tuple(pruned))
+    kept = [child for child in pruned if child is not None]
+    if not kept:
+        return None
+    if len(kept) == 1:
+        return kept[0]
+    return OrNode(tuple(kept))
+
+
+class _PoolLayout:
+    """Aggregate address-space view over every sealed segment."""
+
+    def __init__(self, segmented: "SegmentedIndex") -> None:
+        self._segmented = segmented
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(
+            segment.index.layout.allocated_bytes
+            for segment in self._segmented.segments
+        )
+
+
+class SegmentedIndex:
+    """LSM-style mutable index presenting the engine read API.
+
+    Satisfies the duck type engines and sessions consume — ``search``,
+    ``posting_list``/``comp_types`` (for the offloading API's
+    ``compType`` array), ``layout``, ``terms``, ``in`` — while
+    supporting ``add_document`` / ``delete_document`` / ``seal`` /
+    ``replace_segments`` underneath.
+    """
+
+    def __init__(self, params=None, schemes: Optional[Sequence[str]] = None,
+                 config: Optional[BossConfig] = None,
+                 buffer_docs: int = 256,
+                 buffer_bytes: Optional[int] = None,
+                 observer: Observer = NULL_OBSERVER) -> None:
+        self.stats = LiveStatistics(params)
+        self.memseg = MemSegment(max_docs=buffer_docs,
+                                 max_bytes=buffer_bytes)
+        self.segments: List[Segment] = []
+        self._schemes = list(schemes) if schemes is not None else None
+        self._config = BossConfig() if config is None else config
+        self._observer = observer
+        self._next_segment_id = 0
+        #: segment_id -> (stats version the engine was built at, engine).
+        self._engines: Dict[int, Tuple[int, BossAccelerator]] = {}
+        self._pool_cursor = 0
+        self.layout = _PoolLayout(self)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_document(self, tokens: Sequence[str]) -> int:
+        """Buffer one document; returns its global docID."""
+        token_list = list(tokens)
+        if not token_list:
+            raise InvertedIndexError("cannot index an empty document")
+        tfs = Counter(token_list)
+        doc_id = self.stats.allocate(len(token_list), tfs.keys())
+        self.memseg.add(doc_id, tfs, len(token_list))
+        return doc_id
+
+    def delete_document(self, doc_id: int) -> None:
+        """Delete by global docID (tombstone or buffer drop)."""
+        if doc_id in self.memseg:
+            _length, tfs = self.memseg.remove(doc_id)
+            self.stats.remove(doc_id, tfs.keys())
+            return
+        for segment in self.segments:
+            if doc_id in segment.doc_lengths:
+                if doc_id in segment.tombstones:
+                    raise InvertedIndexError(
+                        f"docID {doc_id} already deleted"
+                    )
+                segment.tombstones.add(doc_id)
+                self.stats.remove(doc_id, segment.doc_terms[doc_id])
+                return
+        raise InvertedIndexError(f"docID {doc_id} not in the live index")
+
+    def seal(self) -> Optional[Segment]:
+        """Seal the write buffer into a new tier-0 segment.
+
+        Returns the new segment, or ``None`` when the buffer is empty.
+        Sealing moves no statistics (the buffered documents were already
+        live), so a segment sealed now is *fresh*: its baked metadata is
+        exact until the next add or delete.
+        """
+        if len(self.memseg) == 0:
+            return None
+        doc_lengths = {
+            doc_id: self.memseg.length_of(doc_id)
+            for doc_id in self.memseg.doc_ids()
+        }
+        doc_terms = {
+            doc_id: self.memseg.terms_of(doc_id)
+            for doc_id in self.memseg.doc_ids()
+        }
+        postings = self.memseg.postings_by_term()
+        self.memseg.drain()
+        segment = build_segment(
+            self._next_segment_id, 0, postings, doc_lengths, doc_terms,
+            self.stats, schemes=self._schemes,
+        )
+        self._next_segment_id += 1
+        self._install(segment)
+        return segment
+
+    def replace_segments(self, inputs: Sequence[Segment],
+                         merged: Optional[Segment]) -> None:
+        """Atomically swap merge inputs for their compacted output.
+
+        ``merged`` may be ``None`` when every input document was
+        tombstoned — the inputs are simply dropped.
+        """
+        input_ids = {segment.segment_id for segment in inputs}
+        survivors = [
+            segment for segment in self.segments
+            if segment.segment_id not in input_ids
+        ]
+        if len(survivors) != len(self.segments) - len(input_ids):
+            raise InvertedIndexError("merge inputs not all installed")
+        for segment in inputs:
+            self._engines.pop(segment.segment_id, None)
+        self.segments = survivors
+        if merged is not None:
+            self._install(merged)
+
+    def next_segment_id(self) -> int:
+        """Allocate a segment id (used by the merge path)."""
+        segment_id = self._next_segment_id
+        self._next_segment_id += 1
+        return segment_id
+
+    def _install(self, segment: Segment) -> None:
+        segment.pool_base = self._pool_cursor
+        self._pool_cursor += segment.index.layout.allocated_bytes
+        self.segments.append(segment)
+        self.segments.sort(key=lambda s: s.min_doc_id)
+
+    # ------------------------------------------------------------------
+    # Read API
+    # ------------------------------------------------------------------
+
+    @property
+    def num_docs(self) -> int:
+        """Live document count."""
+        return self.stats.num_docs
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.segments)
+
+    @property
+    def schemes(self) -> Optional[List[str]]:
+        """Codec candidates every seal/merge builds with."""
+        return None if self._schemes is None else list(self._schemes)
+
+    @property
+    def terms(self) -> List[str]:
+        """Live vocabulary (terms with at least one surviving doc)."""
+        return self.stats.terms
+
+    def __contains__(self, term: str) -> bool:
+        return self.stats.df(term) > 0
+
+    def posting_list(self, term: str) -> CompressedPostingList:
+        """Newest sealed posting list for ``term``.
+
+        The buffer is not compressed, so a term living only there has
+        no list; sessions treat such terms as host-resident.
+        """
+        for segment in reversed(self.segments):
+            if term in segment.index:
+                return segment.index.posting_list(term)
+        raise InvertedIndexError(f"term {term!r} has no sealed postings")
+
+    def comp_types(self, terms: Sequence[str]) -> List[str]:
+        """``compType`` array over sealed lists (buffer-only terms are
+        skipped: their postings are host-resident and uncompressed)."""
+        schemes = []
+        for term in terms:
+            try:
+                schemes.append(self.posting_list(term).scheme)
+            except InvertedIndexError:
+                continue
+        return schemes
+
+    def list_address(self, term: str) -> int:
+        """Pool-absolute base address of the newest list for ``term``."""
+        for segment in reversed(self.segments):
+            if term in segment.index:
+                region = segment.index.posting_list(term).region
+                return segment.pool_base + region.base
+        raise InvertedIndexError(f"term {term!r} has no sealed postings")
+
+    def oldest_live_doc(self) -> Optional[int]:
+        """Lowest live docID (the churn victim for sliding-window
+        workloads); ``None`` when the index is empty."""
+        for segment in self.segments:
+            live = [
+                doc_id for doc_id in segment.doc_lengths
+                if doc_id not in segment.tombstones
+            ]
+            if live:
+                return min(live)
+        buffered = self.memseg.doc_ids()
+        return buffered[0] if buffered else None
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+
+    def search(self, query, k: Optional[int] = None) -> SearchResult:
+        """Fan one query across segments + buffer; merge top-k exactly."""
+        node = parse_query(query) if isinstance(query, str) else query
+        effective_k = self._config.k if k is None else k
+        for term in set(node.terms()):
+            if self.stats.df(term) <= 0:
+                raise QueryError(f"term {term!r} not in index")
+
+        traffic = TrafficCounter()
+        work = WorkCounters()
+        interconnect = 0
+        candidates: List[ScoredDocument] = []
+
+        for segment in self.segments:
+            pruned = prune_query(node,
+                                 lambda t, s=segment: t in s.index)
+            if pruned is None:
+                continue
+            engine = self._engine_for(segment)
+            overfetch = effective_k + len(segment.tombstones)
+            result = engine.search(pruned, k=overfetch)
+            traffic.merge(result.traffic)
+            work.merge(result.work)
+            interconnect += result.interconnect_bytes
+            live_hits = [
+                hit for hit in result.hits
+                if hit.doc_id not in segment.tombstones
+            ]
+            candidates.extend(live_hits[:effective_k])
+
+        candidates.extend(self._buffer_hits(node, effective_k))
+        candidates.sort(key=lambda hit: (-hit.score, hit.doc_id))
+        hits = candidates[:effective_k]
+        return SearchResult(
+            query=node,
+            hits=hits,
+            traffic=traffic,
+            work=work,
+            interconnect_bytes=interconnect,
+        )
+
+    def _engine_for(self, segment: Segment) -> BossAccelerator:
+        """Per-segment engine, rebuilt when the segment goes stale."""
+        version = self.stats.version
+        cached = self._engines.get(segment.segment_id)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        if segment.stats_version == version:
+            index = segment.index
+        else:
+            index = self._stale_view(segment)
+        engine = BossAccelerator(index, self._config,
+                                 observer=self._observer)
+        self._engines[segment.segment_id] = (version, engine)
+        return engine
+
+    def _stale_view(self, segment: Segment) -> InvertedIndex:
+        """Re-dress a stale segment with live statistics.
+
+        Payloads, blocks, and regions are shared with the sealed index;
+        only the score metadata is replaced: live IDFs, and per-block
+        upper bounds computed from the recorded per-block max term
+        frequency against the smallest possible live normalizer. Those
+        bounds can only be *looser* than the true live maxima, which
+        early termination tolerates (it skips less), never tighter
+        (which would drop results).
+        """
+        scorer = self.stats.scorer()
+        min_norm = self.stats.min_normalizer()
+        k1 = self.stats.params.k1
+        lists: Dict[str, CompressedPostingList] = {}
+        for term in segment.index.terms:
+            sealed = segment.index.posting_list(term)
+            idf = self.stats.idf(term)
+            blocks: List[Block] = []
+            list_max = 0.0
+            for block, tf_max in zip(sealed.blocks,
+                                     segment.block_max_tfs[term]):
+                bound = idf * (tf_max * (k1 + 1.0)) / (tf_max + min_norm)
+                blocks.append(Block(
+                    metadata=replace(block.metadata,
+                                     max_term_score=bound),
+                    doc_payload=block.doc_payload,
+                    tf_payload=block.tf_payload,
+                ))
+                list_max = max(list_max, bound)
+            lists[term] = CompressedPostingList(
+                term=term,
+                scheme=sealed.scheme,
+                blocks=blocks,
+                document_frequency=sealed.document_frequency,
+                idf=idf,
+                max_term_score=list_max,
+                region=sealed.region,
+            )
+        stats = DocumentStats(
+            num_docs=scorer.id_space,
+            avgdl=scorer.avgdl,
+            total_tokens=self.stats.total_tokens,
+        )
+        return InvertedIndex(lists, scorer, segment.index.layout, stats)
+
+    def _buffer_hits(self, node: QueryNode,
+                     k: int) -> List[ScoredDocument]:
+        """Brute-force the write buffer (DRAM-resident, no SCM traffic).
+
+        Matching and scoring mirror the engines: boolean membership over
+        the query tree, score summed over every query term present in
+        the document, with live IDFs and live normalizers.
+        """
+        if len(self.memseg) == 0:
+            return []
+        terms = set(node.terms())
+        per_term: Dict[str, Dict[int, int]] = {}
+        for term in terms:
+            postings = {
+                doc_id: self.memseg.tf(doc_id, term)
+                for doc_id in self.memseg.doc_ids()
+                if self.memseg.tf(doc_id, term) > 0
+            }
+            per_term[term] = postings
+
+        def matching(n: QueryNode) -> Set[int]:
+            if isinstance(n, TermNode):
+                return set(per_term[n.term])
+            child_sets = [matching(child) for child in n.children]
+            if isinstance(n, AndNode):
+                out = child_sets[0]
+                for child_set in child_sets[1:]:
+                    out = out & child_set
+                return out
+            out = set()
+            for child_set in child_sets:
+                out |= child_set
+            return out
+
+        scorer = self.stats.scorer()
+        hits = []
+        for doc_id in sorted(matching(node)):
+            score = sum(
+                scorer.term_score(self.stats.idf(term), tf_map[doc_id],
+                                  doc_id)
+                for term, tf_map in per_term.items()
+                if doc_id in tf_map
+            )
+            hits.append(ScoredDocument(doc_id, score))
+        hits.sort(key=lambda hit: (-hit.score, hit.doc_id))
+        return hits[:k]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SegmentedIndex docs={self.num_docs} "
+            f"segments={len(self.segments)} "
+            f"buffered={len(self.memseg)}>"
+        )

@@ -89,6 +89,21 @@ class Observer:
         """A sustained-load run finished; ``report`` is the
         :class:`repro.serving.server.ServingReport`."""
 
+    def on_live_seal(self, segment_id: int, num_docs: int,
+                     nbytes: int) -> None:
+        """The live index sealed its write buffer into a segment."""
+
+    def on_live_merge(self, segment_id: Optional[int], tier: int,
+                      bytes_read: int, bytes_written: int,
+                      seconds: float) -> None:
+        """A background merge finished (``segment_id`` is ``None`` when
+        every input document was tombstoned and nothing was written)."""
+
+    def on_live_state(self, buffered_docs: int, buffered_bytes: int,
+                      num_segments: int,
+                      write_amplification: float) -> None:
+        """Live-index occupancy snapshot after a mutation."""
+
 
 #: Shared do-nothing observer; the default everywhere.
 NULL_OBSERVER = Observer()
@@ -279,6 +294,52 @@ class RecordingObserver(Observer):
         self.registry.gauge(
             "serving.last_shed_fraction", "shed fraction of last run"
         ).set(report.shed_fraction)
+
+    def on_live_seal(self, segment_id: int, num_docs: int,
+                     nbytes: int) -> None:
+        self.registry.counter(
+            "live.seals", "write-buffer seals into tier-0 segments"
+        ).inc()
+        self.registry.counter(
+            "live.seal_bytes", "sequential ST Index bytes from seals"
+        ).inc(nbytes)
+        self.registry.counter(
+            "live.sealed_docs", "documents moved buffer -> segment"
+        ).inc(num_docs)
+
+    def on_live_merge(self, segment_id: Optional[int], tier: int,
+                      bytes_read: int, bytes_written: int,
+                      seconds: float) -> None:
+        self.registry.counter(
+            "live.merges", "background compactions, by output tier"
+        ).inc(tier=str(tier))
+        self.registry.counter(
+            "live.merge_read_bytes", "merge input bytes (LD List)"
+        ).inc(bytes_read)
+        self.registry.counter(
+            "live.merge_write_bytes",
+            "merge output bytes (ST Index), by output tier",
+        ).inc(bytes_written, tier=str(tier))
+        self.registry.counter(
+            "live.maintenance_seconds", "modeled device seconds in merges"
+        ).inc(seconds)
+
+    def on_live_state(self, buffered_docs: int, buffered_bytes: int,
+                      num_segments: int,
+                      write_amplification: float) -> None:
+        self.registry.gauge(
+            "live.buffer_docs", "documents in the write buffer"
+        ).set(buffered_docs)
+        self.registry.gauge(
+            "live.buffer_bytes", "modeled write-buffer footprint"
+        ).set(buffered_bytes)
+        self.registry.gauge(
+            "live.segments", "sealed segments currently live"
+        ).set(num_segments)
+        self.registry.gauge(
+            "live.write_amplification",
+            "total ST Index bytes over tier-0 seal bytes",
+        ).set(write_amplification)
 
     # ------------------------------------------------------------------
     # Registry publication

@@ -43,6 +43,10 @@ PIPELINE_STAGES = (STAGE_BLOCK_FETCH, STAGE_DECOMPRESSION, STAGE_MERGER,
                    STAGE_SCORING, STAGE_TOPK)
 ALL_STAGES = PIPELINE_STAGES + (STAGE_MEMORY,)
 
+#: Index-maintenance traffic (live-index seals and merges) is not part
+#: of the query pipeline; it gets its own attribution stage.
+STAGE_MAINTENANCE = "maintenance"
+
 #: Which functional stage each memory-access class is attributed to.
 CLASS_TO_STAGE = {
     AccessClass.LD_LIST: STAGE_BLOCK_FETCH,
@@ -50,6 +54,7 @@ CLASS_TO_STAGE = {
     AccessClass.LD_INTER: STAGE_MERGER,
     AccessClass.ST_INTER: STAGE_MERGER,
     AccessClass.ST_RESULT: STAGE_TOPK,
+    AccessClass.ST_INDEX: STAGE_MAINTENANCE,
 }
 
 

@@ -25,17 +25,26 @@ from typing import Dict, Tuple
 
 
 class AccessClass(Enum):
-    """Figure 15's five memory-access categories."""
+    """Figure 15's five memory-access categories, plus index maintenance.
+
+    ``ST_INDEX`` is not part of Figure 15 (which profiles read-only
+    query execution): it accounts for the sequential stores issued when
+    the live-index layer (:mod:`repro.live`) seals a write buffer or a
+    background merge writes a compacted segment — the write half of the
+    Table I bandwidth asymmetry.
+    """
 
     LD_LIST = "LD List"
     LD_SCORE = "LD Score"
     LD_INTER = "LD Inter"
     ST_INTER = "ST Inter"
     ST_RESULT = "ST Result"
+    ST_INDEX = "ST Index"
 
     @property
     def is_write(self) -> bool:
-        return self in (AccessClass.ST_INTER, AccessClass.ST_RESULT)
+        return self in (AccessClass.ST_INTER, AccessClass.ST_RESULT,
+                        AccessClass.ST_INDEX)
 
 
 class AccessPattern(Enum):

@@ -36,12 +36,20 @@ from repro.workloads.queries import QuerySampler
 
 @dataclass(frozen=True)
 class Request:
-    """One query due to arrive at the server at a fixed instant."""
+    """One request due to arrive at the server at a fixed instant.
+
+    Plain requests are queries; a request carrying ``update`` is a
+    mutation for a live (:mod:`repro.live`) target instead — the server
+    dispatches it to ``target.apply_update`` rather than ``search``.
+    """
 
     request_id: int
     #: Arrival instant on the serving timeline (seconds from epoch 0).
     arrival_seconds: float
     expression: str
+    #: ``None`` for queries; ``(kind, payload)`` for mutations, e.g.
+    #: ``("add", tokens)`` or ``("delete_oldest", None)``.
+    update: Optional[tuple] = None
 
 
 class PoissonArrivals:
@@ -105,7 +113,8 @@ def build_requests(expressions: Sequence[str], arrivals) -> List[Request]:
 def zipf_workload(terms_by_df: Sequence[str], num_queries: int,
                   rate_qps: float, unique_queries: int = 32,
                   seed: int = 0,
-                  arrivals=None) -> List[Request]:
+                  arrivals=None,
+                  update_mix: float = 0.0) -> List[Request]:
     """The standard serving workload: Zipf query log, Poisson arrivals.
 
     ``terms_by_df`` is the vocabulary in descending document-frequency
@@ -113,7 +122,17 @@ def zipf_workload(terms_by_df: Sequence[str], num_queries: int,
     ``arrivals`` overrides the arrival process (default: Poisson at
     ``rate_qps`` seeded alongside the query log). One ``seed`` governs
     both halves, so the whole workload replays from a single number.
+
+    ``update_mix`` replaces that fraction of the log with mutations for
+    a live target: three document adds per oldest-document delete
+    (steady churn that still grows the corpus). The substitution, the
+    synthesized documents, and the arrival timeline are all functions
+    of ``seed``, so an update-mix workload replays exactly.
     """
+    if not 0.0 <= update_mix <= 1.0:
+        raise ConfigurationError(
+            f"update mix must be in [0, 1], got {update_mix}"
+        )
     sampler = QuerySampler(terms_by_df, seed=seed)
     unique = max(1, min(unique_queries, num_queries))
     expressions = [
@@ -123,4 +142,28 @@ def zipf_workload(terms_by_df: Sequence[str], num_queries: int,
     ]
     if arrivals is None:
         arrivals = PoissonArrivals(rate_qps, seed=seed)
-    return build_requests(expressions, arrivals)
+    requests = build_requests(expressions, arrivals)
+    if update_mix == 0.0:
+        return requests
+    vocab = list(terms_by_df)
+    rng = random.Random(f"updates:{seed}")
+    mixed: List[Request] = []
+    for request in requests:
+        if rng.random() >= update_mix:
+            mixed.append(request)
+            continue
+        if rng.random() < 0.25:
+            update = ("delete_oldest", None)
+            expression = "<update:delete_oldest>"
+        else:
+            length = rng.randint(4, 24)
+            tokens = tuple(rng.choice(vocab) for _ in range(length))
+            update = ("add", tokens)
+            expression = "<update:add>"
+        mixed.append(Request(
+            request_id=request.request_id,
+            arrival_seconds=request.arrival_seconds,
+            expression=expression,
+            update=update,
+        ))
+    return mixed

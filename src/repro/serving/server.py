@@ -408,9 +408,16 @@ class QueryServer:
     # ------------------------------------------------------------------
 
     def _execute(self, request: Request):
-        """Run the query for real; return (result, service_seconds)."""
+        """Run the request for real; return (result, service_seconds).
+
+        Requests carrying an ``update`` payload go to the target's
+        ``apply_update`` (live-index targets only); plain requests are
+        queries.
+        """
         start = self._clock.now()
-        if self._config.k is None:
+        if getattr(request, "update", None) is not None:
+            result = self._target.apply_update(request)
+        elif self._config.k is None:
             result = self._target.search(request.expression)
         else:
             result = self._target.search(request.expression,

@@ -101,7 +101,8 @@ class SyntheticCorpus:
 
     def __init__(self, spec: CorpusSpec,
                  schemes: Optional[Sequence[str]] = None,
-                 params: BM25Parameters = BM25Parameters()) -> None:
+                 params: Optional[BM25Parameters] = None) -> None:
+        params = BM25Parameters() if params is None else params
         self.spec = spec
         self._rng = np.random.default_rng(spec.seed)
         self.doc_lengths = self._draw_doc_lengths()

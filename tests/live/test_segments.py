@@ -1,0 +1,207 @@
+"""SegmentedIndex: seal, tombstones, fresh/stale views, read API."""
+
+import random
+
+import pytest
+
+from repro.core.query import AndNode, OrNode, TermNode, parse_query
+from repro.errors import InvertedIndexError, QueryError
+from repro.live import SegmentedIndex
+from repro.live.segments import prune_query
+
+
+def seeded_docs(count, vocab_size=10, seed=3, min_len=3, max_len=12):
+    rng = random.Random(seed)
+    vocab = [f"t{i}" for i in range(vocab_size)]
+    docs = []
+    for i in range(count):
+        length = rng.randint(min_len, max_len)
+        tokens = [vocab[i % vocab_size]]
+        tokens += [rng.choice(vocab) for _ in range(length - 1)]
+        docs.append(tokens)
+    return docs
+
+
+class TestMutation:
+    def test_add_buffers_until_seal(self):
+        live = SegmentedIndex(buffer_docs=16)
+        for tokens in seeded_docs(5):
+            live.add_document(tokens)
+        assert live.num_docs == 5
+        assert live.num_segments == 0
+        assert len(live.memseg) == 5
+        segment = live.seal()
+        assert segment is not None and segment.tier == 0
+        assert live.num_segments == 1
+        assert len(live.memseg) == 0
+        assert live.num_docs == 5
+
+    def test_seal_empty_buffer_is_noop(self):
+        live = SegmentedIndex()
+        assert live.seal() is None
+
+    def test_empty_document_rejected(self):
+        live = SegmentedIndex()
+        with pytest.raises(InvertedIndexError):
+            live.add_document([])
+
+    def test_delete_from_buffer_drops_without_tombstone(self):
+        live = SegmentedIndex()
+        doc = live.add_document(["a", "b"])
+        live.delete_document(doc)
+        assert live.num_docs == 0
+        assert live.seal() is None  # nothing left to seal
+
+    def test_delete_sealed_doc_sets_tombstone(self):
+        live = SegmentedIndex()
+        doc = live.add_document(["a", "b"])
+        live.add_document(["a"])
+        segment = live.seal()
+        live.delete_document(doc)
+        assert doc in segment.tombstones
+        assert segment.live_docs == 1
+        assert live.num_docs == 1
+
+    def test_double_delete_and_unknown_raise(self):
+        live = SegmentedIndex()
+        doc = live.add_document(["a"])
+        live.add_document(["a"])
+        live.seal()
+        live.delete_document(doc)
+        with pytest.raises(InvertedIndexError):
+            live.delete_document(doc)
+        with pytest.raises(InvertedIndexError):
+            live.delete_document(999)
+
+    def test_oldest_live_doc_skips_dead(self):
+        live = SegmentedIndex()
+        first = live.add_document(["a"])
+        second = live.add_document(["a"])
+        live.seal()
+        assert live.oldest_live_doc() == first
+        live.delete_document(first)
+        assert live.oldest_live_doc() == second
+
+
+class TestReadApi:
+    def make_index(self):
+        live = SegmentedIndex(buffer_docs=8)
+        for tokens in seeded_docs(20):
+            live.add_document(tokens)
+        return live
+
+    def test_contains_tracks_live_df(self):
+        live = SegmentedIndex()
+        doc = live.add_document(["rare"])
+        assert "rare" in live
+        live.delete_document(doc)
+        assert "rare" not in live
+
+    def test_posting_list_prefers_newest_segment(self):
+        live = SegmentedIndex()
+        live.add_document(["a"])
+        live.seal()
+        live.add_document(["a", "a", "a"])
+        live.add_document(["b"])
+        live.seal()
+        assert live.posting_list("a").document_frequency == 1
+        newest = live.segments[-1]
+        assert "a" in newest.index
+        with pytest.raises(InvertedIndexError):
+            live.posting_list("zzz")
+
+    def test_comp_types_skips_buffer_only_terms(self):
+        live = SegmentedIndex()
+        live.add_document(["sealed"])
+        live.seal()
+        live.add_document(["buffered"])
+        assert len(live.comp_types(["sealed", "buffered"])) == 1
+
+    def test_layout_spans_every_segment(self):
+        live = self.make_index()
+        live.seal()
+        assert live.layout.allocated_bytes == sum(
+            segment.index.layout.allocated_bytes
+            for segment in live.segments
+        )
+        # Pool bases tile the span without overlap.
+        cursor = 0
+        for segment in sorted(live.segments, key=lambda s: s.pool_base):
+            assert segment.pool_base == cursor
+            cursor += segment.index.layout.allocated_bytes
+
+    def test_query_for_dead_term_raises(self):
+        live = SegmentedIndex()
+        doc = live.add_document(["gone", "stay"])
+        live.add_document(["stay"])
+        live.seal()
+        live.delete_document(doc)
+        with pytest.raises(QueryError):
+            live.search('"gone"', k=5)
+
+    def test_search_covers_buffer_and_segments(self):
+        live = SegmentedIndex(buffer_docs=64)
+        sealed = live.add_document(["x", "y"])
+        live.add_document(["y"])
+        live.seal()
+        buffered = live.add_document(["x", "x"])
+        result = live.search('"x"', k=10)
+        assert {hit.doc_id for hit in result.hits} == {sealed, buffered}
+
+    def test_tombstoned_docs_never_surface(self):
+        live = self.make_index()
+        live.seal()
+        target = live.oldest_live_doc()
+        before = live.search('"t0"', k=20)
+        assert target in {hit.doc_id for hit in before.hits}
+        live.delete_document(target)
+        after = live.search('"t0"', k=20)
+        assert target not in {hit.doc_id for hit in after.hits}
+
+    def test_stale_segment_bounds_stay_conservative(self):
+        """After mutations, stale-view block bounds dominate true scores."""
+        live = self.make_index()
+        live.seal()
+        # Go stale: new adds change N, avgdl, and dfs.
+        for tokens in seeded_docs(10, seed=9):
+            live.add_document(tokens)
+        segment = live.segments[0]
+        assert segment.stats_version != live.stats.version
+        view = live._stale_view(segment)
+        scorer = live.stats.scorer()
+        for term in view.terms:
+            posting_list = view.posting_list(term)
+            for block in posting_list.blocks:
+                true_max = max(
+                    scorer.term_score(posting_list.idf, p.tf, p.doc_id)
+                    for p in block.decode(posting_list.codec)
+                )
+                assert block.metadata.max_term_score >= true_max - 1e-12
+
+    def test_fresh_segment_serves_baked_index(self):
+        live = self.make_index()
+        live.seal()
+        segment = live.segments[-1]
+        assert segment.stats_version == live.stats.version
+        engine = live._engine_for(segment)
+        assert engine.index is segment.index  # no view rebuilt
+
+
+class TestPruneQuery:
+    def test_term_pruned_when_absent(self):
+        present = {"a"}.__contains__
+        assert prune_query(TermNode("a"), present) == TermNode("a")
+        assert prune_query(TermNode("z"), present) is None
+
+    def test_and_annihilates_or_drops(self):
+        node = parse_query('"a" AND "z"')
+        assert prune_query(node, {"a"}.__contains__) is None
+        node = parse_query('"a" OR "z"')
+        assert prune_query(node, {"a"}.__contains__) == TermNode("a")
+
+    def test_nested_rewrite(self):
+        node = parse_query('("a" AND "b") OR ("z" AND "a")')
+        pruned = prune_query(node, {"a", "b"}.__contains__)
+        assert pruned == AndNode((TermNode("a"), TermNode("b")))
+        kept = prune_query(node, {"a", "b", "z"}.__contains__)
+        assert isinstance(kept, OrNode) and len(kept.children) == 2

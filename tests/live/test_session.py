@@ -1,0 +1,70 @@
+"""BossSession over a live index: the offloading API stays intact."""
+
+import pytest
+
+from repro.api import BossSession
+from repro.errors import QueryError
+from repro.live import SegmentedIndex
+
+
+def make_live(num_docs=40):
+    live = SegmentedIndex(buffer_docs=16)
+    vocab = [f"t{i}" for i in range(8)]
+    for i in range(num_docs):
+        live.add_document([vocab[i % 8], vocab[(i + 1) % 8]])
+    live.seal()
+    return live
+
+
+class TestSessionOverLiveIndex:
+    def test_init_and_search(self):
+        live = make_live()
+        session = BossSession()
+        session.init(live)
+        assert session.initialized
+        result = session.search('"t0" OR "t1"', k=5)
+        assert result.hits
+        expected = live.search('"t0" OR "t1"', k=5)
+        assert [h.doc_id for h in result.hits] == [
+            h.doc_id for h in expected.hits
+        ]
+
+    def test_mutations_visible_through_session(self):
+        live = make_live()
+        session = BossSession()
+        session.init(live)
+        doc = live.add_document(["fresh", "t0"])
+        result = session.search('"fresh"', k=5)
+        assert [h.doc_id for h in result.hits] == [doc]
+        live.delete_document(doc)
+        with pytest.raises(QueryError):
+            session.search('"fresh"', k=5)
+
+    def test_comp_types_skip_buffer_only_terms(self):
+        live = make_live()
+        live.add_document(["unsealed"])
+        session = BossSession()
+        session.init(live)
+        comp_types = session.comp_types(["t0", "unsealed"])
+        assert len(comp_types) == 1
+
+    def test_list_addresses_grow_with_pool(self):
+        live = make_live()
+        session = BossSession()
+        session.init(live)
+        first = session.list_addresses(["t0"])
+        # Seal another segment: the pool grows, the mapping follows.
+        for i in range(20):
+            live.add_document([f"t{i % 8}", "late"])
+        live.seal()
+        addresses = session.list_addresses(["t0", "late"])
+        assert addresses[0] >= live.segments[-1].pool_base
+        assert first[0] < live.segments[-1].pool_base
+
+    def test_oversized_query_rejected_on_live_index(self):
+        live = make_live()
+        session = BossSession()
+        session.init(live)
+        expression = " OR ".join(f'"t{i % 8}-x{i}"' for i in range(17))
+        with pytest.raises(QueryError):
+            session.search(expression, k=5)

@@ -1,0 +1,93 @@
+"""Read-traffic equivalence: a compacted live index costs what a
+monolithic rebuild costs.
+
+Compaction's promise is not just result equivalence (the differential
+tests pin that) but *cost* equivalence: once the segments collapse to
+one, a query's modeled SCM read traffic must match a fresh build of the
+survivors. Append-only corpora match to the byte — same docIDs, same
+payloads. With deletes the surviving global docIDs keep gaps where the
+dead documents were, so d-gap payload bytes may differ slightly; the
+acceptance bound is 1%.
+"""
+
+import random
+
+from repro.core.engine import BossAccelerator
+from repro.index import IndexBuilder
+from repro.live import LiveIndexWriter
+
+VOCAB = [f"t{i}" for i in range(10)]
+
+QUERIES = [
+    '"t0"',
+    '"t1" OR "t2"',
+    '"t0" AND "t3"',
+    '("t0" AND "t1") OR "t2"',
+]
+
+
+def build_pair(num_docs, delete_every=0, seed=11, schemes=None):
+    """(live writer fully compacted, monolithic rebuild engine)."""
+    rng = random.Random(f"traffic:{seed}")
+    writer = LiveIndexWriter(buffer_docs=32, schemes=schemes)
+    docs = {}
+    for i in range(num_docs):
+        length = rng.randint(4, 18)
+        tokens = [VOCAB[i % len(VOCAB)]]
+        tokens += [rng.choice(VOCAB) for _ in range(length - 1)]
+        docs[writer.add_document(tokens)] = tokens
+        if delete_every and (i + 1) % delete_every == 0:
+            writer.delete_oldest()
+    writer.flush()
+    writer.scheduler.compact_all()
+    assert writer.index.num_segments == 1
+
+    builder = IndexBuilder(schemes=schemes)
+    for doc_id in sorted(docs):
+        if writer.index.stats.is_live(doc_id):
+            builder.add_document(docs[doc_id])
+    return writer, BossAccelerator(builder.build())
+
+
+def test_append_only_compaction_traffic_is_exact():
+    writer, mono = build_pair(300)
+    for expression in QUERIES:
+        live = writer.index.search(expression, k=10)
+        ref = mono.search(expression, k=10)
+        assert live.traffic.total_bytes == ref.traffic.total_bytes, (
+            expression
+        )
+        assert live.traffic.read_bytes == ref.traffic.read_bytes
+        assert live.work.blocks_fetched == ref.work.blocks_fetched
+
+
+def test_compaction_traffic_with_deletes_within_one_percent():
+    writer, mono = build_pair(400, delete_every=8, schemes=["VB"])
+    for expression in QUERIES:
+        live = writer.index.search(expression, k=10)
+        ref = mono.search(expression, k=10)
+        delta = abs(live.traffic.total_bytes - ref.traffic.total_bytes)
+        assert delta <= 0.01 * ref.traffic.total_bytes, (
+            f"{expression}: {live.traffic.total_bytes} vs "
+            f"{ref.traffic.total_bytes}"
+        )
+
+
+def test_uncompacted_index_reads_more_than_compacted():
+    """Many small segments pay a read penalty — the reason merges exist."""
+    rng = random.Random("frag")
+    writer = LiveIndexWriter(buffer_docs=8)
+    for i in range(200):
+        length = rng.randint(4, 18)
+        tokens = [VOCAB[i % len(VOCAB)]]
+        tokens += [rng.choice(VOCAB) for _ in range(length - 1)]
+        writer.add_document(tokens)
+    writer.flush()
+    fragmented = sum(
+        writer.index.search(q, k=10).traffic.total_bytes for q in QUERIES
+    )
+    writer.scheduler.compact_all()
+    compacted = sum(
+        writer.index.search(q, k=10).traffic.total_bytes for q in QUERIES
+    )
+    assert compacted < fragmented

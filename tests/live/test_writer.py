@@ -1,0 +1,166 @@
+"""LiveIndexWriter: thresholds, accounting, and the serving adapter."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.live import (
+    LiveIndexWriter,
+    LiveServingTarget,
+    MergePolicy,
+    UpdateResult,
+)
+from repro.scm.device import DDR4_4CH, OPTANE_NODE_4CH
+from repro.scm.traffic import AccessClass
+from repro.serving.loadgen import Request
+
+
+def ingest(writer, count, seed=5, vocab=8):
+    rng = random.Random(f"w:{seed}")
+    terms = [f"t{i}" for i in range(vocab)]
+    for i in range(count):
+        length = rng.randint(3, 12)
+        tokens = [terms[i % vocab]]
+        tokens += [rng.choice(terms) for _ in range(length - 1)]
+        writer.add_document(tokens)
+
+
+class TestWriter:
+    def test_buffer_threshold_triggers_seal(self):
+        writer = LiveIndexWriter(buffer_docs=8)
+        ingest(writer, 7)
+        assert writer.index.num_segments == 0
+        ingest(writer, 1, seed=6)
+        assert writer.index.num_segments == 1
+        assert len(writer.index.memseg) == 0
+
+    def test_seal_cascades_into_merges(self):
+        writer = LiveIndexWriter(buffer_docs=4,
+                                 policy=MergePolicy(fanout=4))
+        ingest(writer, 16)
+        assert len(writer.scheduler.seals) == 4
+        assert len(writer.scheduler.records) == 1
+        assert writer.index.num_segments == 1
+
+    def test_write_amplification_grows_with_compaction(self):
+        writer = LiveIndexWriter(buffer_docs=4,
+                                 policy=MergePolicy(fanout=4))
+        ingest(writer, 12)
+        assert writer.write_amplification == 1.0  # seals only
+        ingest(writer, 4, seed=7)  # 4th seal -> tier-1 merge
+        assert writer.write_amplification > 1.0
+        tiers = writer.bytes_written_by_tier
+        assert writer.index_write_bytes == sum(tiers.values())
+        assert writer.sealed_bytes == tiers[0]
+
+    def test_traffic_conservation(self):
+        """Every ST Index byte equals a segment installed at that size."""
+        writer = LiveIndexWriter(buffer_docs=4,
+                                 policy=MergePolicy(fanout=3))
+        ingest(writer, 30)
+        writer.flush()
+        recorded = writer.traffic.bytes_for(AccessClass.ST_INDEX)
+        by_tier = sum(writer.bytes_written_by_tier.values())
+        from_records = (
+            sum(r.bytes_written for r in writer.scheduler.records)
+            + writer.sealed_bytes
+        )
+        assert recorded == by_tier == from_records
+        # Merge reads equal the sizes of the merged inputs.
+        read = writer.traffic.bytes_for(AccessClass.LD_LIST)
+        assert read == sum(r.bytes_read
+                           for r in writer.scheduler.records)
+
+    def test_flush_drains_buffer(self):
+        writer = LiveIndexWriter(buffer_docs=64)
+        ingest(writer, 5)
+        assert writer.flush() is not None
+        assert len(writer.index.memseg) == 0
+        assert writer.flush() is None
+
+    def test_delete_oldest_walks_forward(self):
+        writer = LiveIndexWriter(buffer_docs=4)
+        ingest(writer, 6)
+        assert writer.delete_oldest() == 0
+        assert writer.delete_oldest() == 1
+        assert writer.index.num_docs == 4
+
+    def test_apply_update_add_and_delete(self):
+        writer = LiveIndexWriter(buffer_docs=2)
+        result = writer.apply_update(("add", ("a", "b")))
+        assert isinstance(result, UpdateResult)
+        assert result.kind == "add" and result.doc_id == 0
+        assert result.sealed_segment_id is None
+        assert result.modeled_seconds == 0.0  # buffer-only: free
+        sealing = writer.apply_update(("add", ("a",)))
+        assert sealing.sealed_segment_id is not None
+        assert sealing.modeled_seconds > 0.0
+        deletion = writer.apply_update(("delete_oldest", None))
+        assert deletion.kind == "delete_oldest" and deletion.doc_id == 0
+
+    def test_apply_update_unknown_kind(self):
+        writer = LiveIndexWriter()
+        with pytest.raises(ConfigurationError):
+            writer.apply_update(("upsert", None))
+
+    def test_scm_maintenance_slower_than_dram(self):
+        def device_seconds(device):
+            writer = LiveIndexWriter(buffer_docs=4, device=device,
+                                     policy=MergePolicy(fanout=3))
+            ingest(writer, 30)
+            writer.flush()
+            return writer.scheduler.busy_seconds
+
+        scm = device_seconds(OPTANE_NODE_4CH)
+        dram = device_seconds(DDR4_4CH)
+        assert scm > 3 * dram  # write-bandwidth asymmetry is material
+
+
+class TestLiveServingTarget:
+    def test_search_delegates(self):
+        writer = LiveIndexWriter(buffer_docs=4)
+        ingest(writer, 8)
+        target = LiveServingTarget(writer)
+        result = target.search('"t0"', k=5)
+        assert result.hits
+
+    def test_update_advances_clock_to_arrival(self):
+        writer = LiveIndexWriter(buffer_docs=100)
+        target = LiveServingTarget(writer)
+        request = Request(request_id=0, arrival_seconds=2.5,
+                          expression="<update:add>",
+                          update=("add", ("a", "b")))
+        target.apply_update(request)
+        assert writer.clock.now() == 2.5
+        # A later arrival moves it forward; an earlier one never back.
+        early = Request(request_id=1, arrival_seconds=1.0,
+                        expression="<update:add>",
+                        update=("add", ("c",)))
+        target.apply_update(early)
+        assert writer.clock.now() == 2.5
+
+    def test_service_time_updates_and_queries(self):
+        writer = LiveIndexWriter(buffer_docs=4)
+        ingest(writer, 8)
+        target = LiveServingTarget(writer)
+        update_result = UpdateResult(kind="add", modeled_seconds=0.25)
+        assert target.service_time(None, update_result) == 0.25
+        query = Request(request_id=0, arrival_seconds=0.0,
+                        expression='"t0"')
+        result = target.search('"t0"', k=5)
+        seconds = target.service_time(query, result)
+        assert seconds > 0.0
+
+    def test_query_queues_behind_maintenance_backlog(self):
+        writer = LiveIndexWriter(buffer_docs=4)
+        ingest(writer, 8)
+        target = LiveServingTarget(writer)
+        result = target.search('"t0"', k=5)
+        request = Request(request_id=0, arrival_seconds=0.0,
+                         expression='"t0"')
+        free = target.service_time(request, result)
+        writer.scheduler.busy_until = 1.0  # pretend a merge is in flight
+        assert target.service_time(request, result) == pytest.approx(
+            free + 1.0
+        )

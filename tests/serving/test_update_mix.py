@@ -1,0 +1,130 @@
+"""Serving with mutations: workload shape, determinism, no read regressions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.live import LiveIndexWriter, LiveServingTarget, MergePolicy
+from repro.serving import QueryServer, ServingConfig, zipf_workload
+
+VOCAB = [f"t{i}" for i in range(24)]
+
+
+def live_target(seed=1, num_docs=120, buffer_docs=16):
+    writer = LiveIndexWriter(buffer_docs=buffer_docs,
+                             policy=MergePolicy(fanout=3))
+    import random
+    rng = random.Random(f"corpus:{seed}")
+    for i in range(num_docs):
+        length = rng.randint(4, 16)
+        tokens = [VOCAB[i % len(VOCAB)]]
+        tokens += [rng.choice(VOCAB) for _ in range(length - 1)]
+        writer.add_document(tokens)
+    writer.flush()
+    return LiveServingTarget(writer)
+
+
+def serve_once(update_mix, seed=1, queries=96, rate=400.0):
+    target = live_target(seed=seed)
+    config = ServingConfig(workers=2, queue_capacity=16, k=10)
+    requests = zipf_workload(VOCAB, queries, rate, unique_queries=16,
+                             seed=seed, update_mix=update_mix)
+    server = QueryServer(target, config,
+                         service_time=target.service_time,
+                         clock=target.writer.clock)
+    return server.serve(requests), target
+
+
+class TestWorkloadGeneration:
+    def test_zero_mix_is_the_legacy_workload(self):
+        plain = zipf_workload(VOCAB, 50, 100.0, seed=3)
+        mixed = zipf_workload(VOCAB, 50, 100.0, seed=3, update_mix=0.0)
+        assert plain == mixed
+        assert all(r.update is None for r in plain)
+
+    def test_mix_fraction_and_composition(self):
+        requests = zipf_workload(VOCAB, 400, 100.0, seed=3,
+                                 update_mix=0.5)
+        updates = [r for r in requests if r.update is not None]
+        assert 120 <= len(updates) <= 280  # ~50%
+        kinds = {r.update[0] for r in updates}
+        assert kinds == {"add", "delete_oldest"}
+        adds = sum(1 for r in updates if r.update[0] == "add")
+        assert adds > len(updates) / 2  # adds dominate 3:1
+
+    def test_workload_is_seed_deterministic(self):
+        a = zipf_workload(VOCAB, 80, 100.0, seed=9, update_mix=0.3)
+        b = zipf_workload(VOCAB, 80, 100.0, seed=9, update_mix=0.3)
+        assert a == b
+        c = zipf_workload(VOCAB, 80, 100.0, seed=10, update_mix=0.3)
+        assert a != c
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            zipf_workload(VOCAB, 10, 100.0, update_mix=1.5)
+
+
+class TestLiveServing:
+    def test_updates_execute_and_mutate_the_index(self):
+        result, target = serve_once(0.4)
+        report = result.report
+        assert report.shed == 0
+        update_outcomes = [
+            o for o in result.outcomes
+            if o.expression.startswith("<update:")
+        ]
+        assert update_outcomes
+        assert all(o.status == "served" for o in update_outcomes)
+        assert target.writer.index.num_docs != 120
+
+    def test_virtual_clock_run_is_deterministic(self):
+        first, target_a = serve_once(0.4)
+        second, target_b = serve_once(0.4)
+
+        def fingerprint(serving_result, target):
+            return (
+                [(o.request_id, o.status, o.start_seconds,
+                  o.completion_seconds)
+                 for o in serving_result.outcomes],
+                target.writer.index.num_docs,
+                target.writer.index.num_segments,
+                target.writer.index_write_bytes,
+                len(target.writer.scheduler.records),
+                target.writer.scheduler.busy_seconds,
+            )
+
+        assert fingerprint(first, target_a) == fingerprint(
+            second, target_b
+        )
+
+    def test_merges_interleave_with_serving(self):
+        result, target = serve_once(0.6, queries=256)
+        assert len(target.writer.scheduler.seals) >= 2
+        # Maintenance happened while requests were still arriving.
+        last_arrival = max(o.arrival_seconds for o in result.outcomes)
+        assert 0.0 < target.writer.scheduler.busy_until
+        assert any(
+            o.completion_seconds and o.completion_seconds < last_arrival
+            for o in result.outcomes
+        )
+
+    def test_read_only_serving_unchanged_by_live_layer(self):
+        """update_mix=0 over a static engine matches the PR4 behavior:
+        no update dispatch, pure search path."""
+        from tests.conftest import build_random_index
+        from repro.core.engine import BossAccelerator, BossConfig
+
+        index = build_random_index(num_docs=300, vocab_size=20)
+        target = BossAccelerator(index, BossConfig(k=10))
+        vocab = sorted(
+            index.terms,
+            key=lambda t: index.posting_list(t).document_frequency,
+            reverse=True,
+        )
+        requests = zipf_workload(vocab, 64, 500.0, seed=2)
+        config = ServingConfig(workers=2, queue_capacity=16, k=10)
+        result = QueryServer(
+            target, config,
+            service_time=lambda req, res: 1e-4,
+        ).serve(requests)
+        assert result.report.served == 64
+        assert result.report.shed == 0

@@ -70,7 +70,7 @@ class TestDocsDirectory:
     @pytest.mark.parametrize("name", [
         "architecture.md", "performance-model.md",
         "decompressor-programs.md", "observability.md",
-        "robustness.md", "serving.md",
+        "robustness.md", "serving.md", "live_index.md",
     ])
     def test_docs_exist_and_nonempty(self, name):
         path = ROOT / "docs" / name
