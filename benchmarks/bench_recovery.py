@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Recovery benchmark: WAL overhead and crash-recovery cost vs update mix.
+
+Drives the durable live index (:mod:`repro.live.durable`) through
+mutation-only op schedules at several delete fractions, then measures
+what durability costs on both sides of a crash:
+
+* **logging overhead** — WAL frames and manifest rewrites are extra
+  sequential ``ST Index`` traffic on top of the seal/merge rewrites the
+  in-memory writer already pays. The *durability amplification* column
+  is (WAL + manifest bytes) / segment-rewrite bytes: how much the
+  paper's bandwidth-constrained SCM write path pays for crash safety,
+  and how it shifts as deletes (tiny WAL records, no new postings)
+  displace adds;
+* **recovery cost** — every run is then recovered from disk twice:
+  once as-is (clean shutdown: every live segment file present, replay
+  only re-executes buffered ops) and once after deleting the segment
+  files (worst case: every seal and merge is rebuilt from the op
+  stream). Reported as the recovery report's modeled device seconds
+  plus host wall-clock.
+
+Results are written as JSON (default: ``BENCH_pr6.json`` at the repo
+root) so CI can archive the trajectory; nothing is gated on them.
+
+Usage::
+
+    python benchmarks/bench_recovery.py           # full sweep
+    python benchmarks/bench_recovery.py --smoke   # CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.live import (  # noqa: E402
+    DurableLiveIndexWriter,
+    MergePolicy,
+    recover,
+)
+
+_REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+_DEFAULT_OUT = os.path.join(_REPO_ROOT, "BENCH_pr6.json")
+
+#: Fraction of mutations that are deletes, per sweep point.
+UPDATE_MIXES = (0.0, 0.05, 0.15, 0.30)
+SMOKE_MIXES = (0.0, 0.15)
+
+
+def build_ops(seed, num_ops, delete_frac, vocab_size):
+    """Mutation-only schedule: adds with seeded filler, deletes of the
+    oldest live document at the requested fraction."""
+    vocab = [f"t{i}" for i in range(vocab_size)]
+    rng = random.Random(f"recovery-bench:{seed}")
+    ops = []
+    live = 0
+    for i in range(num_ops):
+        if rng.random() < delete_frac and live > 1:
+            ops.append(("delete",))
+            live -= 1
+        else:
+            length = rng.randint(4, 24)
+            tokens = [vocab[i % vocab_size]]
+            tokens += [rng.choice(vocab) for _ in range(length - 1)]
+            ops.append(("add", tokens))
+            live += 1
+    return ops
+
+
+def ingest(wal_dir, ops, args):
+    writer = DurableLiveIndexWriter(
+        wal_dir, buffer_docs=args.buffer,
+        policy=MergePolicy(fanout=args.fanout),
+    )
+    for op in ops:
+        if op[0] == "add":
+            writer.add_document(op[1])
+        else:
+            writer.delete_oldest()
+    writer.close()
+    return writer
+
+
+def time_recovery(wal_dir) -> dict:
+    started = time.perf_counter()
+    writer, report = recover(wal_dir)
+    wall = time.perf_counter() - started
+    writer.close()
+    return {
+        "records_replayed": report.records_replayed,
+        "segments_loaded": report.segments_loaded,
+        "segments_rebuilt": report.segments_rebuilt,
+        "modeled_ms": round(report.modeled_seconds * 1e3, 4),
+        "wall_ms": round(wall * 1e3, 3),
+    }
+
+
+def run_point(delete_frac, args) -> dict:
+    ops = build_ops(args.seed, args.ops, delete_frac, args.vocab)
+    scratch = tempfile.mkdtemp(prefix="bench-recovery-")
+    try:
+        wal_dir = os.path.join(scratch, "wal")
+        writer = ingest(wal_dir, ops, args)
+
+        rewrite_bytes = sum(writer.bytes_written_by_tier.values())
+        durable_bytes = writer.wal.bytes_logged + writer.manifest_bytes
+        loaded = time_recovery(wal_dir)
+
+        # Worst case: no segment files survive, replay rebuilds all.
+        for name in os.listdir(wal_dir):
+            if name.startswith("seg-") and name.endswith(".seg"):
+                os.unlink(os.path.join(wal_dir, name))
+        rebuilt = time_recovery(wal_dir)
+
+        deletes = sum(1 for op in ops if op[0] == "delete")
+        return {
+            "update_mix": delete_frac,
+            "ops": len(ops),
+            "deletes": deletes,
+            "live_docs": writer.index.num_docs,
+            "seals": len(writer.scheduler.seals),
+            "merges": len(writer.scheduler.records),
+            "wal_records": writer.wal.records_logged,
+            "wal_bytes": writer.wal.bytes_logged,
+            "manifest_writes": writer.manifest_writes,
+            "manifest_bytes": writer.manifest_bytes,
+            "segment_rewrite_bytes": rewrite_bytes,
+            "index_write_bytes": writer.index_write_bytes,
+            "durability_amplification": round(
+                durable_bytes / rewrite_bytes, 4
+            ) if rewrite_bytes else None,
+            "write_amplification": round(writer.write_amplification, 4),
+            "recovery_loaded": loaded,
+            "recovery_rebuilt": rebuilt,
+        }
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+def _print_points(points) -> None:
+    print(f"\n{'mix':>5}{'WAL B':>10}{'manifest B':>12}{'rewrite B':>11}"
+          f"{'dur amp':>9}{'load ms':>9}{'rebuild ms':>11}")
+    for point in points:
+        print(f"{point['update_mix']:>5g}{point['wal_bytes']:>10}"
+              f"{point['manifest_bytes']:>12}"
+              f"{point['segment_rewrite_bytes']:>11}"
+              f"{point['durability_amplification']:>9}"
+              f"{point['recovery_loaded']['modeled_ms']:>9.3f}"
+              f"{point['recovery_rebuilt']['modeled_ms']:>11.3f}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops", type=int, default=1500,
+                        help="mutations per sweep point")
+    parser.add_argument("--vocab", type=int, default=32,
+                        help="vocabulary size (round-robin coverage)")
+    parser.add_argument("--buffer", type=int, default=32,
+                        help="write-buffer capacity in documents")
+    parser.add_argument("--fanout", type=int, default=4,
+                        help="merge-policy fanout")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--out", default=_DEFAULT_OUT,
+                        help="JSON output path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer ops/points)")
+    args = parser.parse_args(argv)
+
+    mixes = UPDATE_MIXES
+    if args.smoke:
+        args.ops = min(args.ops, 400)
+        mixes = SMOKE_MIXES
+
+    points = [run_point(mix, args) for mix in mixes]
+    payload = {
+        "benchmark": "bench_recovery",
+        "config": {
+            "ops": args.ops,
+            "vocab": args.vocab,
+            "buffer_docs": args.buffer,
+            "fanout": args.fanout,
+            "seed": args.seed,
+            "smoke": args.smoke,
+        },
+        "points": points,
+    }
+
+    _print_points(points)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,7 @@ from repro.core import (
 from repro.errors import (
     CompressionError,
     ConfigurationError,
+    CrashError,
     DecompressorProgramError,
     FaultInjectionError,
     InvertedIndexError,
@@ -64,14 +65,18 @@ from repro.index import (
 )
 from repro.index.io import load_index, save_index
 from repro.live import (
+    DurableLiveIndexWriter,
     LiveIndexWriter,
     LiveServingTarget,
     LiveStatistics,
     MemSegment,
     MergePolicy,
     MergeScheduler,
+    RecoveryReport,
     SegmentedIndex,
     UpdateResult,
+    WriteAheadLog,
+    recover_live_index,
 )
 from repro.observability import (
     NULL_OBSERVER,
@@ -145,6 +150,11 @@ __all__ = [
     "MergePolicy",
     "MergeScheduler",
     "UpdateResult",
+    # durable live index
+    "DurableLiveIndexWriter",
+    "RecoveryReport",
+    "WriteAheadLog",
+    "recover_live_index",
     # fault injection
     "FaultConfig",
     "FaultyEngine",
@@ -169,5 +179,6 @@ __all__ = [
     "ConfigurationError",
     "SimulationError",
     "FaultInjectionError",
+    "CrashError",
     "LeafExecutionError",
 ]

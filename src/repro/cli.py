@@ -194,6 +194,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         default="scm",
                         help="device model timing the seals and merges")
     ingest.add_argument("--seed", type=int, default=1)
+    ingest.add_argument("--wal-dir", default=None,
+                        help="durable mode: WAL + manifest + segment "
+                             "files in this directory; an existing log "
+                             "is crash-recovered before ingest continues")
     ingest.add_argument("--json", action="store_true",
                         help="emit the ingest report as JSON")
 
@@ -783,8 +787,19 @@ def _cmd_ingest(args) -> int:
 
     device = _live_device(args.device)
     vocab = [f"t{i}" for i in range(args.vocab)]
-    writer = LiveIndexWriter(device=device, buffer_docs=args.buffer,
-                             policy=MergePolicy(fanout=args.fanout))
+    recovery = None
+    if args.wal_dir:
+        from repro.live import recover_live_index
+
+        # On recovery the manifest's recorded configuration wins, so
+        # the CLI flags only shape a freshly created directory.
+        writer, recovery = recover_live_index(
+            args.wal_dir, device=device, buffer_docs=args.buffer,
+            policy=MergePolicy(fanout=args.fanout),
+        )
+    else:
+        writer = LiveIndexWriter(device=device, buffer_docs=args.buffer,
+                                 policy=MergePolicy(fanout=args.fanout))
     rng = _random.Random(f"ingest:{args.seed}")
     deleted = 0
     for i in range(args.docs):
@@ -797,7 +812,18 @@ def _cmd_ingest(args) -> int:
             writer.delete_oldest()
             deleted += 1
     writer.flush()
-    report = validate_segmented(writer.index, check_scores=False)
+    if args.wal_dir:
+        from repro.live import load_manifest
+
+        report = validate_segmented(
+            writer.index, check_scores=False,
+            manifest=load_manifest(writer.manifest_path),
+            segment_dir=writer.wal_dir,
+        )
+    else:
+        report = validate_segmented(writer.index, check_scores=False)
+    if args.wal_dir:
+        writer.close()
 
     tiers = writer.bytes_written_by_tier
     payload = {
@@ -816,6 +842,26 @@ def _cmd_ingest(args) -> int:
         "maintenance_seconds": writer.scheduler.busy_seconds,
         "validation_ok": report.ok,
     }
+    if args.wal_dir:
+        payload["wal"] = {
+            "dir": str(writer.wal_dir),
+            "records_logged": writer.wal.records_logged,
+            "bytes_logged": writer.wal.bytes_logged,
+            "manifest_writes": writer.manifest_writes,
+            "manifest_bytes": writer.manifest_bytes,
+        }
+        payload["recovery"] = None if recovery is None else {
+            "records_replayed": recovery.records_replayed,
+            "mutations_replayed": recovery.mutations_replayed,
+            "seals_replayed": recovery.seals_replayed,
+            "merges_replayed": recovery.merges_replayed,
+            "segments_loaded": recovery.segments_loaded,
+            "segments_rebuilt": recovery.segments_rebuilt,
+            "torn": recovery.torn,
+            "torn_bytes": recovery.torn_bytes,
+            "orphans_removed": recovery.orphans_removed,
+            "modeled_seconds": recovery.modeled_seconds,
+        }
     if args.json:
         print(json.dumps(payload, indent=2))
         return 0
@@ -831,6 +877,20 @@ def _cmd_ingest(args) -> int:
         print(f"  tier {tier}: {num_bytes} B")
     print(f"merge reads: {payload['merge_read_bytes']} B (LD List); "
           f"device time {writer.scheduler.busy_seconds * 1e3:.3f} ms")
+    if args.wal_dir:
+        wal = payload["wal"]
+        print(f"WAL: {wal['records_logged']} records, "
+              f"{wal['bytes_logged']} B; manifest: "
+              f"{wal['manifest_writes']} writes, "
+              f"{wal['manifest_bytes']} B -> {wal['dir']}")
+        if recovery is not None:
+            print(f"recovered: {recovery.records_replayed} records "
+                  f"({recovery.seals_replayed} seals, "
+                  f"{recovery.merges_replayed} merges; "
+                  f"{recovery.segments_loaded} loaded / "
+                  f"{recovery.segments_rebuilt} rebuilt), torn tail "
+                  f"{recovery.torn_bytes} B, "
+                  f"{recovery.modeled_seconds * 1e3:.3f} ms modeled")
     if not report.ok:
         for error in report.errors[:5]:
             print(f"  error: {error}")

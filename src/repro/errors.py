@@ -55,6 +55,24 @@ class FaultInjectionError(ReproError):
         self.kind = kind
 
 
+class CrashError(ReproError):
+    """A deterministic injected process death (durability testing).
+
+    Raised only by :class:`repro.faults.CrashSchedule` at a named
+    kill-point — never by real execution paths. The writer that raised
+    it must be abandoned: its in-memory state is "lost", and the test
+    recovers a fresh writer from the on-disk WAL + manifest. ``kill_point``
+    names the boundary (see :data:`repro.faults.KILL_POINTS`) and
+    ``occurrence`` is which hit of that boundary fired.
+    """
+
+    def __init__(self, message: str, kill_point: str = "",
+                 occurrence: int = 0) -> None:
+        super().__init__(message)
+        self.kill_point = kill_point
+        self.occurrence = occurrence
+
+
 class LeafExecutionError(ReproError):
     """A cluster leaf failed (or exhausted its retry/failover budget).
 

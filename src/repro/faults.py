@@ -39,8 +39,127 @@ from repro.clock import WALL_CLOCK
 from repro.errors import (
     CompressionError,
     ConfigurationError,
+    CrashError,
     FaultInjectionError,
 )
+
+#: The named process-death boundaries the durable live index exposes
+#: (:mod:`repro.live.durable`). Every boundary is *after* the previous
+#: durable step and *before* the next one, so together they cover each
+#: window in which a crash leaves disk and memory disagreeing:
+#:
+#: ``before_seal``              buffer full, nothing durable yet
+#: ``after_seal_pre_manifest``  segment file + WAL record durable,
+#:                              manifest still points at the old set
+#: ``mid_merge``                merge compute started, nothing durable
+#: ``after_merge_pre_commit``   merge output + WAL record durable,
+#:                              manifest/inputs not yet swapped
+#: ``mid_wal_append``           a torn frame tail reaches the log
+#: ``mid_recovery``             recovery itself dies (double crash)
+KILL_POINTS = (
+    "before_seal",
+    "after_seal_pre_manifest",
+    "mid_merge",
+    "after_merge_pre_commit",
+    "mid_wal_append",
+    "mid_recovery",
+)
+
+
+class CrashSchedule:
+    """Deterministic process-death schedule for durability tests.
+
+    Arms at most one kill-point: the ``occurrence``-th time execution
+    reaches ``kill_point`` (counting from 1), :meth:`check` raises
+    :class:`~repro.errors.CrashError` — after which the schedule is
+    spent and never fires again, so the recovery that follows can reuse
+    the writer configuration safely. ``kill_point=None`` is the inert
+    schedule: every probe just counts.
+
+    ``min_clock_seconds`` defers the kill until the bound clock (see
+    :meth:`bind_clock`) has reached that virtual instant, which lets
+    serving-timeline tests place a crash *in time* rather than by
+    occurrence index alone.
+
+    For ``mid_wal_append`` the death happens *inside* the frame write:
+    :meth:`wal_tear` hands the log a deterministic (seeded) torn prefix
+    — or, with ``torn_mode="corrupt"``, a bit-flipped copy — of the
+    frame, so recovery must detect the damage via framing/checksum.
+    """
+
+    def __init__(self, kill_point: Optional[str] = None,
+                 occurrence: int = 1, *, seed: int = 0,
+                 torn_mode: str = "truncate",
+                 min_clock_seconds: float = 0.0) -> None:
+        if kill_point is not None and kill_point not in KILL_POINTS:
+            raise ConfigurationError(
+                f"unknown kill point {kill_point!r} "
+                f"(known: {', '.join(KILL_POINTS)})"
+            )
+        if occurrence < 1:
+            raise ConfigurationError("occurrence counts from 1")
+        if torn_mode not in ("truncate", "corrupt"):
+            raise ConfigurationError(
+                f"torn_mode must be 'truncate' or 'corrupt', "
+                f"got {torn_mode!r}"
+            )
+        self.kill_point = kill_point
+        self.occurrence = occurrence
+        self.seed = seed
+        self.torn_mode = torn_mode
+        self.min_clock_seconds = min_clock_seconds
+        #: Probe counts per kill-point name (fired or not).
+        self.counts: dict = {}
+        self.fired = False
+        self._clock = None
+
+    def bind_clock(self, clock) -> None:
+        """Attach the clock that gates ``min_clock_seconds``."""
+        self._clock = clock
+
+    def _hit(self, point: str) -> bool:
+        self.counts[point] = self.counts.get(point, 0) + 1
+        if self.fired or point != self.kill_point:
+            return False
+        if (self.min_clock_seconds > 0.0 and self._clock is not None
+                and self._clock.now() < self.min_clock_seconds):
+            return False
+        return self.counts[point] >= self.occurrence
+
+    def die(self, point: str) -> None:
+        """Raise the crash for ``point`` unconditionally."""
+        self.fired = True
+        raise CrashError(
+            f"injected crash at {point} "
+            f"(occurrence {self.counts.get(point, 0)})",
+            kill_point=point,
+            occurrence=self.counts.get(point, 0),
+        )
+
+    def check(self, point: str) -> None:
+        """Probe one kill-point; raises when the schedule fires."""
+        if self._hit(point):
+            self.die(point)
+
+    def wal_tear(self, frame: bytes) -> Optional[bytes]:
+        """Damaged bytes to write in place of ``frame``, if armed.
+
+        Returns ``None`` when this append survives. Otherwise the
+        caller writes the returned bytes and then :meth:`die`\\ s: a
+        seeded strict prefix of the frame (``torn_mode="truncate"``) or
+        the full frame with one payload byte flipped (``"corrupt"``),
+        both guaranteed invalid under the frame checksum.
+        """
+        if not self._hit("mid_wal_append"):
+            return None
+        rng = random.Random(
+            f"tear:{self.seed}:{self.counts['mid_wal_append']}"
+        )
+        if self.torn_mode == "corrupt" and len(frame) > 8:
+            index = rng.randrange(8, len(frame))
+            return (frame[:index] + bytes([frame[index] ^ 0x5A])
+                    + frame[index + 1:])
+        return frame[:rng.randrange(1, len(frame))]
 
 
 @dataclass(frozen=True)

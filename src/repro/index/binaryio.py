@@ -81,6 +81,103 @@ def _read_bytes(data: bytes, offset: int) -> tuple:
     return data[offset:offset + length], offset + length
 
 
+# Public aliases: the WAL and segment-file formats (repro.live) reuse
+# the exact same primitive encodings, so torn-record detection and the
+# fuzz tests exercise one codec, not three.
+write_varint = _write_varint
+read_varint = _read_varint
+write_bytes_field = _write_bytes
+read_bytes_field = _read_bytes
+
+
+def write_term_section(out: BinaryIO, posting_list) -> None:
+    """Write one term's posting-list section (shared ``.bossx`` /
+    segment-file encoding): name, scheme, df, scores, region, blocks."""
+    term = posting_list.term
+    _write_bytes(out, term.encode("utf-8"))
+    _write_bytes(out, posting_list.scheme.encode("ascii"))
+    _write_varint(out, posting_list.document_frequency)
+    out.write(struct.pack("<dd", posting_list.idf,
+                          posting_list.max_term_score))
+    _write_varint(out, posting_list.region.base)
+    _write_varint(out, posting_list.region.size)
+    _write_varint(out, posting_list.num_blocks)
+    for block in posting_list.blocks:
+        meta = block.metadata
+        _write_varint(out, meta.first_doc_id)
+        _write_varint(out, meta.last_doc_id)
+        out.write(struct.pack("<d", meta.max_term_score))
+        _write_varint(out, meta.offset)
+        _write_varint(out, meta.count)
+        _write_varint(out, meta.bit_width)
+        _write_varint(out, meta.exception_offset)
+        _write_bytes(out, block.doc_payload)
+        _write_bytes(out, block.tf_payload)
+
+
+def read_term_section(data: bytes, offset: int,
+                      layout: AddressSpaceLayout) -> tuple:
+    """Read one term section; returns ``(posting_list, offset)``.
+
+    Replays the recorded region size through ``layout`` so the
+    allocator's internal bookkeeping stays consistent with the recorded
+    addresses.
+    """
+    double = struct.Struct("<d")
+    pair = struct.Struct("<dd")
+    term_bytes, offset = _read_bytes(data, offset)
+    term = term_bytes.decode("utf-8")
+    scheme_bytes, offset = _read_bytes(data, offset)
+    scheme = scheme_bytes.decode("ascii")
+    df, offset = _read_varint(data, offset)
+    if offset + pair.size > len(data):
+        raise InvertedIndexError("truncated term record")
+    idf, max_score = pair.unpack_from(data, offset)
+    offset += pair.size
+    region_base, offset = _read_varint(data, offset)
+    region_size, offset = _read_varint(data, offset)
+    num_blocks, offset = _read_varint(data, offset)
+    blocks: List[Block] = []
+    for _b in range(num_blocks):
+        first, offset = _read_varint(data, offset)
+        last, offset = _read_varint(data, offset)
+        if offset + double.size > len(data):
+            raise InvertedIndexError("truncated block record")
+        (block_max,) = double.unpack_from(data, offset)
+        offset += double.size
+        block_offset, offset = _read_varint(data, offset)
+        count, offset = _read_varint(data, offset)
+        bit_width, offset = _read_varint(data, offset)
+        exception_offset, offset = _read_varint(data, offset)
+        doc_payload, offset = _read_bytes(data, offset)
+        tf_payload, offset = _read_bytes(data, offset)
+        blocks.append(Block(
+            metadata=BlockMetadata(
+                first_doc_id=first,
+                last_doc_id=last,
+                max_term_score=block_max,
+                offset=block_offset,
+                count=count,
+                bit_width=bit_width,
+                exception_offset=exception_offset,
+            ),
+            doc_payload=doc_payload,
+            tf_payload=tf_payload,
+        ))
+    region = Region(base=region_base, size=region_size)
+    layout.allocate(term, region_size)
+    posting_list = CompressedPostingList(
+        term=term,
+        scheme=scheme,
+        blocks=blocks,
+        document_frequency=df,
+        idf=idf,
+        max_term_score=max_score,
+        region=region,
+    )
+    return posting_list, offset
+
+
 def save_index_binary(index: InvertedIndex,
                       path: Union[str, Path]) -> None:
     """Write ``index`` in the ``.bossx`` binary format."""
@@ -95,26 +192,7 @@ def save_index_binary(index: InvertedIndex,
         for length in scorer._doc_lengths:
             _write_varint(out, length)
         for term in index.terms:
-            posting_list = index.posting_list(term)
-            _write_bytes(out, term.encode("utf-8"))
-            _write_bytes(out, posting_list.scheme.encode("ascii"))
-            _write_varint(out, posting_list.document_frequency)
-            out.write(struct.pack("<dd", posting_list.idf,
-                                  posting_list.max_term_score))
-            _write_varint(out, posting_list.region.base)
-            _write_varint(out, posting_list.region.size)
-            _write_varint(out, posting_list.num_blocks)
-            for block in posting_list.blocks:
-                meta = block.metadata
-                _write_varint(out, meta.first_doc_id)
-                _write_varint(out, meta.last_doc_id)
-                out.write(struct.pack("<d", meta.max_term_score))
-                _write_varint(out, meta.offset)
-                _write_varint(out, meta.count)
-                _write_varint(out, meta.bit_width)
-                _write_varint(out, meta.exception_offset)
-                _write_bytes(out, block.doc_payload)
-                _write_bytes(out, block.tf_payload)
+            write_term_section(out, index.posting_list(term))
 
 
 def load_index_binary(path: Union[str, Path]) -> InvertedIndex:
@@ -140,61 +218,9 @@ def load_index_binary(path: Union[str, Path]) -> InvertedIndex:
 
     layout = AddressSpaceLayout()
     lists: Dict[str, CompressedPostingList] = {}
-    double = struct.Struct("<d")
-    pair = struct.Struct("<dd")
     for _ in range(num_terms):
-        term_bytes, offset = _read_bytes(data, offset)
-        term = term_bytes.decode("utf-8")
-        scheme_bytes, offset = _read_bytes(data, offset)
-        scheme = scheme_bytes.decode("ascii")
-        df, offset = _read_varint(data, offset)
-        if offset + pair.size > len(data):
-            raise InvertedIndexError("truncated term record")
-        idf, max_score = pair.unpack_from(data, offset)
-        offset += pair.size
-        region_base, offset = _read_varint(data, offset)
-        region_size, offset = _read_varint(data, offset)
-        num_blocks, offset = _read_varint(data, offset)
-        blocks: List[Block] = []
-        for _b in range(num_blocks):
-            first, offset = _read_varint(data, offset)
-            last, offset = _read_varint(data, offset)
-            if offset + double.size > len(data):
-                raise InvertedIndexError("truncated block record")
-            (block_max,) = double.unpack_from(data, offset)
-            offset += double.size
-            block_offset, offset = _read_varint(data, offset)
-            count, offset = _read_varint(data, offset)
-            bit_width, offset = _read_varint(data, offset)
-            exception_offset, offset = _read_varint(data, offset)
-            doc_payload, offset = _read_bytes(data, offset)
-            tf_payload, offset = _read_bytes(data, offset)
-            blocks.append(Block(
-                metadata=BlockMetadata(
-                    first_doc_id=first,
-                    last_doc_id=last,
-                    max_term_score=block_max,
-                    offset=block_offset,
-                    count=count,
-                    bit_width=bit_width,
-                    exception_offset=exception_offset,
-                ),
-                doc_payload=doc_payload,
-                tf_payload=tf_payload,
-            ))
-        # Recreate the region through the allocator to keep its internal
-        # bookkeeping consistent with the recorded addresses.
-        region = Region(base=region_base, size=region_size)
-        layout.allocate(term, region_size)
-        lists[term] = CompressedPostingList(
-            term=term,
-            scheme=scheme,
-            blocks=blocks,
-            document_frequency=df,
-            idf=idf,
-            max_term_score=max_score,
-            region=region,
-        )
+        posting_list, offset = read_term_section(data, offset, layout)
+        lists[posting_list.term] = posting_list
     if offset != len(data):
         raise InvertedIndexError(
             f"{len(data) - offset} trailing bytes after last term"

@@ -22,7 +22,8 @@ search results:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from pathlib import Path
+from typing import List, Optional, Union
 
 from repro.errors import CompressionError
 from repro.index.index import InvertedIndex
@@ -175,7 +176,10 @@ def validate_index(index: InvertedIndex,
 
 
 def validate_segmented(segmented,
-                       check_scores: bool = True) -> ValidationReport:
+                       check_scores: bool = True, *,
+                       manifest: Optional[dict] = None,
+                       segment_dir: Optional[Union[str, Path]] = None
+                       ) -> ValidationReport:
     """Check the live-index invariants of a ``SegmentedIndex``.
 
     Runs :func:`validate_index` over every sealed segment (each is a
@@ -191,9 +195,16 @@ def validate_segmented(segmented,
     * the global statistics are exactly the sum over parts: live count,
       live token total, and every term's live document frequency.
 
+    For a durable index, pass the loaded ``manifest`` and/or the WAL
+    directory as ``segment_dir`` to extend the check to the durable
+    state: the manifest must describe exactly the installed segment
+    set (ids, tiers, sizes), every manifest entry's segment file must
+    exist on disk at its recorded size, and no orphan ``seg-*.seg``
+    file may sit in the directory outside the committed set.
+
     The merge scheduler runs this after every compaction (with
-    ``check_scores=False`` for speed); the differential tests run the
-    full pass.
+    ``check_scores=False`` for speed, no durable-state arguments);
+    the differential tests run the full pass.
     """
     report = ValidationReport()
     stats = segmented.stats
@@ -277,4 +288,61 @@ def validate_segmented(segmented,
                 f"global: term {term!r} df {recorded} != sum over parts "
                 f"{expected}"
             )
+
+    if manifest is not None or segment_dir is not None:
+        _validate_durable_state(segmented, manifest, segment_dir, report)
     return report
+
+
+def _validate_durable_state(segmented, manifest: Optional[dict],
+                            segment_dir: Optional[Union[str, Path]],
+                            report: ValidationReport) -> None:
+    """Manifest <-> installed segments <-> segment files agreement."""
+    installed = {s.segment_id: s for s in segmented.segments}
+    entries = {}
+    if manifest is not None:
+        for entry in manifest.get("segments", []):
+            entries[entry["id"]] = entry
+        for segment_id, entry in entries.items():
+            segment = installed.get(segment_id)
+            if segment is None:
+                report._error(
+                    f"manifest: segment {segment_id} committed but not "
+                    f"installed"
+                )
+                continue
+            if entry["tier"] != segment.tier:
+                report._error(
+                    f"manifest: segment {segment_id} tier {entry['tier']} "
+                    f"!= installed tier {segment.tier}"
+                )
+            if entry["nbytes"] != segment.nbytes:
+                report._error(
+                    f"manifest: segment {segment_id} nbytes "
+                    f"{entry['nbytes']} != installed {segment.nbytes}"
+                )
+        for segment_id in installed:
+            if segment_id not in entries:
+                report._error(
+                    f"manifest: segment {segment_id} installed but not "
+                    f"committed"
+                )
+    if segment_dir is not None:
+        from repro.live.segfile import segment_file_name
+
+        segment_dir = Path(segment_dir)
+        committed = (entries if manifest is not None else installed)
+        for segment_id in committed:
+            path = segment_dir / segment_file_name(segment_id)
+            if not path.exists():
+                report._error(
+                    f"durable: segment {segment_id} committed but "
+                    f"{path.name} is missing on disk"
+                )
+        expected_names = {segment_file_name(i) for i in committed}
+        for stray in sorted(segment_dir.glob("seg-*.seg")):
+            if stray.name not in expected_names:
+                report._error(
+                    f"durable: orphan segment file {stray.name} outside "
+                    f"the committed set"
+                )

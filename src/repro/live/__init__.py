@@ -10,8 +10,33 @@ Layering::
       └── MergeScheduler     tiered compaction on a modeled device
 
     LiveServingTarget        adapter for repro.serving.QueryServer
+
+Durability (``repro.live.durable``) wraps the same stack in a WAL +
+manifest + segment-file commit protocol::
+
+    DurableLiveIndexWriter   logs every mutation before applying it
+      ├── WriteAheadLog      framed, checksummed op log (wal.py)
+      ├── MANIFEST.json      committed segment set, atomic rename
+      └── seg-XXXXXXXX.seg   one durable file per segment (segfile.py)
+    recover()                WAL replay -> bit-identical writer
 """
 
+from repro.live.durable import (
+    DurableLiveIndexWriter,
+    DurableMergeScheduler,
+    RecoveryReport,
+    WAL_NAME,
+    recover,
+    recover_live_index,
+    replay_log,
+)
+from repro.live.manifest import (
+    MANIFEST_NAME,
+    load_manifest,
+    manifest_payload,
+    serialize_manifest,
+    write_manifest,
+)
 from repro.live.memseg import MemSegment
 from repro.live.merge import (
     MergePlan,
@@ -26,7 +51,21 @@ from repro.live.segments import (
     build_segment,
     prune_query,
 )
+from repro.live.segfile import (
+    load_segment,
+    save_segment,
+    segment_file_name,
+)
 from repro.live.stats import LiveBM25Scorer, LiveStatistics
+from repro.live.wal import (
+    AddRecord,
+    DeleteRecord,
+    MergeCommitRecord,
+    SealRecord,
+    WalScan,
+    WriteAheadLog,
+    read_wal,
+)
 from repro.live.writer import (
     LiveIndexWriter,
     LiveServingTarget,
@@ -34,19 +73,41 @@ from repro.live.writer import (
 )
 
 __all__ = [
+    "AddRecord",
+    "DeleteRecord",
+    "DurableLiveIndexWriter",
+    "DurableMergeScheduler",
     "LiveBM25Scorer",
     "LiveIndexWriter",
     "LiveServingTarget",
     "LiveStatistics",
+    "MANIFEST_NAME",
     "MemSegment",
+    "MergeCommitRecord",
     "MergePlan",
     "MergePolicy",
     "MergeRecord",
     "MergeScheduler",
+    "RecoveryReport",
+    "SealRecord",
     "Segment",
     "SegmentedIndex",
     "UpdateResult",
+    "WAL_NAME",
+    "WalScan",
+    "WriteAheadLog",
     "build_segment",
+    "load_manifest",
+    "load_segment",
+    "manifest_payload",
     "merge_segments",
     "prune_query",
+    "read_wal",
+    "recover",
+    "recover_live_index",
+    "replay_log",
+    "save_segment",
+    "segment_file_name",
+    "serialize_manifest",
+    "write_manifest",
 ]

@@ -1,0 +1,108 @@
+"""Crash-consistent segment manifest (the durable directory's root).
+
+The manifest is one JSON document naming the committed segment set:
+which segment files exist, their tiers and sizes, the next segment id,
+the writer configuration, and — crucially — ``wal_records``, the
+length of the WAL prefix this manifest reflects. It is rewritten via
+*atomic rename* at every seal/merge commit, so at any instant the
+directory holds exactly one complete, self-checksummed manifest; a
+crash between commits simply leaves the previous one, and recovery
+replays the WAL suffix past ``wal_records`` over it.
+
+Determinism matters beyond correctness: the serialization is canonical
+(sorted keys, fixed separators), and the version *is* the WAL record
+count — a pure function of log position — so a recovered writer
+charges byte-for-byte the same manifest traffic a never-crashed writer
+charged, which the conservation invariants assert.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.errors import InvertedIndexError
+from repro.live.segfile import segment_file_name
+from repro.live.segments import Segment
+
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Bumped when the manifest schema changes incompatibly.
+MANIFEST_FORMAT = 1
+
+
+def manifest_payload(segments: List[Segment], next_segment_id: int,
+                     wal_records: int, config: dict) -> dict:
+    """The manifest document for the current committed state."""
+    return {
+        "format": MANIFEST_FORMAT,
+        "version": wal_records,
+        "wal_records": wal_records,
+        "next_segment_id": next_segment_id,
+        "config": dict(config),
+        "segments": [
+            {
+                "id": segment.segment_id,
+                "tier": segment.tier,
+                "stats_version": segment.stats_version,
+                "file": segment_file_name(segment.segment_id),
+                "nbytes": segment.nbytes,
+            }
+            for segment in sorted(segments,
+                                  key=lambda s: s.segment_id)
+        ],
+    }
+
+
+def serialize_manifest(payload: dict) -> bytes:
+    """Canonical bytes: sorted keys + embedded CRC32 self-checksum."""
+    body = dict(payload)
+    body.pop("checksum", None)
+    canonical = json.dumps(body, sort_keys=True,
+                           separators=(",", ":"))
+    body["checksum"] = zlib.crc32(canonical.encode("utf-8"))
+    return json.dumps(body, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def write_manifest(path: Union[str, Path], payload: dict) -> int:
+    """Atomically replace the manifest; returns bytes written."""
+    data = serialize_manifest(payload)
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as out:
+        out.write(data)
+        out.flush()
+    os.replace(tmp, path)
+    return len(data)
+
+
+def load_manifest(path: Union[str, Path]) -> Optional[dict]:
+    """Read and verify the manifest; ``None`` when absent.
+
+    Raises :class:`~repro.errors.InvertedIndexError` on damage — the
+    rename protocol never leaves a torn manifest, so damage means the
+    file was edited or the directory is not a WAL directory.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        body = json.loads(path.read_bytes().decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise InvertedIndexError(
+            f"{path}: manifest does not parse ({error})"
+        ) from error
+    recorded = body.pop("checksum", None)
+    canonical = json.dumps(body, sort_keys=True,
+                           separators=(",", ":"))
+    if recorded != zlib.crc32(canonical.encode("utf-8")):
+        raise InvertedIndexError(f"{path}: manifest checksum mismatch")
+    if body.get("format") != MANIFEST_FORMAT:
+        raise InvertedIndexError(
+            f"{path}: unsupported manifest format {body.get('format')!r}"
+        )
+    return body

@@ -223,9 +223,42 @@ class MergeScheduler:
             executed.append(self._run(plan))
 
     def _run(self, plan: MergePlan) -> MergeRecord:
+        self._before_merge(plan)
         merge_traffic = TrafficCounter()
         merged = merge_segments(self.segmented, plan.inputs,
                                 plan.output_tier, traffic=merge_traffic)
+        self._commit_merge(plan, merged)
+        record = self._install_merge(plan, merged, merge_traffic)
+        self._after_merge_commit(plan, record)
+        return record
+
+    # Durability hooks — no-ops here; DurableMergeScheduler overrides
+    # them to persist the output segment, log the merge-commit record,
+    # and swap the manifest around the in-memory install.
+
+    def _before_merge(self, plan: MergePlan) -> None:
+        """Called before any merge work (durable: ``mid_merge`` probe)."""
+
+    def _commit_merge(self, plan: MergePlan,
+                      merged: Optional[Segment]) -> None:
+        """Called after compute, before the in-memory install (durable:
+        segment file + WAL merge-commit record land here)."""
+
+    def _after_merge_commit(self, plan: MergePlan,
+                            record: MergeRecord) -> None:
+        """Called after the install (durable: manifest swap + input
+        file removal)."""
+
+    def _install_merge(self, plan: MergePlan, merged: Optional[Segment],
+                       merge_traffic: TrafficCounter) -> MergeRecord:
+        """Install + account one computed (or durably loaded) merge.
+
+        Recovery replay calls this directly with a loaded output
+        segment and hand-built traffic, bypassing the durability hooks
+        — the accounting, busy-window, observer, and validation steps
+        are identical either way, which is what keeps a recovered
+        timeline bit-equal to a clean one.
+        """
         self.segmented.replace_segments(plan.inputs, merged)
         self.traffic.merge(merge_traffic)
         written = merge_traffic.bytes_for(AccessClass.ST_INDEX)

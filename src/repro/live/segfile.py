@@ -1,0 +1,217 @@
+"""Durable segment files: one sealed :class:`~repro.live.segments.
+Segment` per file, bit-faithful to the in-memory original.
+
+The ``.bossx`` format (:mod:`repro.index.binaryio`) is *not* reusable
+as-is for live segments: loading it rebuilds a plain
+:class:`~repro.index.bm25.BM25Scorer` over the segment's own documents,
+but a live segment scores with a :class:`~repro.live.stats.
+LiveBM25Scorer` snapshot — normalizer slots for *every* docID ever
+allocated, with ``N`` and ``avgdl`` from the live survivors. Recovery
+must reproduce that scorer exactly or the fresh-segment query path
+diverges from a clean replay. So segment files store the scorer's
+actual inputs — the full allocated docID length table, the live
+document count, and the exact live token total (an integer; storing
+the derived float would not round-trip the division) — and loading
+re-runs the same constructor the seal ran.
+
+Layout (all varints/length-prefixed fields via the shared
+:mod:`~repro.index.binaryio` primitives, doubles IEEE-754 LE)::
+
+    magic BOSSSEG1
+    segment_id, tier, stats_version
+    scorer: k1, b (doubles); id_space; doc_lengths[id_space];
+            num_live; total_live_tokens
+    doc table: count; per doc: docID, length, term count, terms
+    term sections: count; per term the shared .bossx section
+    block_max_tfs: per term (in section order): count, values
+    trailer: u32 CRC32 of everything before it
+
+Files are written to a temp name and ``os.replace``-d into place, so a
+crash never leaves a half-written file under the real name; the
+whole-file checksum catches any other damage, and recovery falls back
+to a deterministic rebuild from the WAL when a file fails to load.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.errors import InvertedIndexError
+from repro.index.binaryio import (
+    read_bytes_field,
+    read_term_section,
+    read_varint,
+    write_bytes_field,
+    write_term_section,
+    write_varint,
+)
+from repro.index.bm25 import BM25Parameters
+from repro.index.index import (
+    CompressedPostingList,
+    DocumentStats,
+    InvertedIndex,
+)
+from repro.index.storage import AddressSpaceLayout
+from repro.live.segments import Segment
+from repro.live.stats import LiveBM25Scorer
+
+SEG_MAGIC = b"BOSSSEG1"
+
+_CRC = struct.Struct("<I")
+_PAIR = struct.Struct("<dd")
+
+
+def segment_file_name(segment_id: int) -> str:
+    """Canonical on-disk name for one segment."""
+    return f"seg-{segment_id:08d}.seg"
+
+
+def encode_segment(segment: Segment) -> bytes:
+    """Serialize one segment (without the CRC trailer)."""
+    scorer = segment.index.scorer
+    if not isinstance(scorer, LiveBM25Scorer):
+        raise InvertedIndexError(
+            f"segment {segment.segment_id} was not sealed with live "
+            f"statistics; refusing to persist a non-live scorer"
+        )
+    out = io.BytesIO()
+    out.write(SEG_MAGIC)
+    write_varint(out, segment.segment_id)
+    write_varint(out, segment.tier)
+    write_varint(out, segment.stats_version)
+    params = scorer.params
+    out.write(_PAIR.pack(params.k1, params.b))
+    write_varint(out, len(scorer._doc_lengths))
+    for length in scorer._doc_lengths:
+        write_varint(out, length)
+    write_varint(out, scorer.num_docs)
+    total_live_tokens = round(scorer.avgdl * scorer.num_docs)
+    write_varint(out, total_live_tokens)
+    write_varint(out, len(segment.doc_lengths))
+    for doc_id, length in segment.doc_lengths.items():
+        write_varint(out, doc_id)
+        write_varint(out, length)
+        terms = segment.doc_terms[doc_id]
+        write_varint(out, len(terms))
+        for term in terms:
+            write_bytes_field(out, term.encode("utf-8"))
+    terms = segment.index.terms
+    write_varint(out, len(terms))
+    for term in terms:
+        write_term_section(out, segment.index.posting_list(term))
+    for term in terms:
+        tf_maxima = segment.block_max_tfs[term]
+        write_varint(out, len(tf_maxima))
+        for tf_max in tf_maxima:
+            write_varint(out, tf_max)
+    return out.getvalue()
+
+
+def save_segment(segment: Segment, path: Union[str, Path]) -> int:
+    """Atomically persist ``segment``; returns the file size in bytes.
+
+    The CRC32 trailer covers the whole body, so a reader can prove the
+    file intact without trusting anything else on disk.
+    """
+    body = encode_segment(segment)
+    data = body + _CRC.pack(zlib.crc32(body))
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as out:
+        out.write(data)
+        out.flush()
+    os.replace(tmp, path)
+    return len(data)
+
+
+def load_segment(path: Union[str, Path]) -> Tuple[Segment, int]:
+    """Load one segment file; returns ``(segment, file_size_bytes)``.
+
+    Raises :class:`~repro.errors.InvertedIndexError` on any damage
+    (bad magic, failed checksum, truncated body) — recovery treats that
+    as "file lost" and rebuilds the segment from the WAL instead.
+    """
+    data = Path(path).read_bytes()
+    if len(data) < len(SEG_MAGIC) + _CRC.size:
+        raise InvertedIndexError(f"{path}: segment file truncated")
+    if data[:len(SEG_MAGIC)] != SEG_MAGIC:
+        raise InvertedIndexError(f"{path} is not a BOSSSEG1 file")
+    body, (crc,) = data[:-_CRC.size], _CRC.unpack(data[-_CRC.size:])
+    if zlib.crc32(body) != crc:
+        raise InvertedIndexError(f"{path}: segment checksum mismatch")
+
+    offset = len(SEG_MAGIC)
+    segment_id, offset = read_varint(body, offset)
+    tier, offset = read_varint(body, offset)
+    stats_version, offset = read_varint(body, offset)
+    if offset + _PAIR.size > len(body):
+        raise InvertedIndexError(f"{path}: truncated scorer header")
+    k1, b = _PAIR.unpack_from(body, offset)
+    offset += _PAIR.size
+    id_space, offset = read_varint(body, offset)
+    all_lengths: List[int] = []
+    for _ in range(id_space):
+        length, offset = read_varint(body, offset)
+        all_lengths.append(length)
+    num_live, offset = read_varint(body, offset)
+    total_live_tokens, offset = read_varint(body, offset)
+    scorer = LiveBM25Scorer(all_lengths, num_live, total_live_tokens,
+                            BM25Parameters(k1=k1, b=b))
+
+    num_docs, offset = read_varint(body, offset)
+    doc_lengths: Dict[int, int] = {}
+    doc_terms: Dict[int, Tuple[str, ...]] = {}
+    for _ in range(num_docs):
+        doc_id, offset = read_varint(body, offset)
+        length, offset = read_varint(body, offset)
+        doc_lengths[doc_id] = length
+        num_terms, offset = read_varint(body, offset)
+        terms = []
+        for _ in range(num_terms):
+            raw, offset = read_bytes_field(body, offset)
+            terms.append(raw.decode("utf-8"))
+        doc_terms[doc_id] = tuple(terms)
+
+    num_terms, offset = read_varint(body, offset)
+    layout = AddressSpaceLayout()
+    lists: Dict[str, CompressedPostingList] = {}
+    term_order: List[str] = []
+    for _ in range(num_terms):
+        posting_list, offset = read_term_section(body, offset, layout)
+        lists[posting_list.term] = posting_list
+        term_order.append(posting_list.term)
+    block_max_tfs: Dict[str, List[int]] = {}
+    for term in term_order:
+        count, offset = read_varint(body, offset)
+        tf_maxima = []
+        for _ in range(count):
+            tf_max, offset = read_varint(body, offset)
+            tf_maxima.append(tf_max)
+        block_max_tfs[term] = tf_maxima
+    if offset != len(body):
+        raise InvertedIndexError(
+            f"{path}: {len(body) - offset} trailing bytes in segment body"
+        )
+
+    # Reconstruct DocumentStats exactly the way IndexBuilder.build()
+    # derives it when handed a pre-built scorer.
+    stats = DocumentStats(
+        num_docs=scorer.id_space,
+        avgdl=scorer.avgdl,
+        total_tokens=int(round(scorer.avgdl * scorer.num_docs)),
+    )
+    index = InvertedIndex(lists, scorer, layout, stats)
+    return Segment(
+        segment_id=segment_id,
+        index=index,
+        tier=tier,
+        stats_version=stats_version,
+        doc_lengths=doc_lengths,
+        doc_terms=doc_terms,
+        block_max_tfs=block_max_tfs,
+    ), len(data)

@@ -191,6 +191,38 @@ def prune_query(node: QueryNode,
     return OrNode(tuple(kept))
 
 
+def prune_query_scored(node: QueryNode,
+                       present: Callable[[str], bool]
+                       ) -> Optional[QueryNode]:
+    """Match-preserving prune that keeps score parity with a monolith.
+
+    :func:`prune_query` alone is exact for *matching* but not for
+    *scoring*: the engine's general path scores every query term a
+    matching document contains, including terms of branches the
+    document does not satisfy. Annihilating an AND branch because one
+    of its terms is absent from this segment would also drop the
+    branch's *present* terms from that probe set, under-scoring
+    documents matched through other branches. So when pruning discards
+    present terms, re-attach them in a branch that cannot add matches —
+    ``OR(pruned, AND(extras..., pruned))`` has exactly ``match(pruned)``
+    but carries every present query term for the scoring probes.
+    """
+    pruned = prune_query(node, present)
+    if pruned is None:
+        return None
+    kept = set(pruned.terms())
+    extras = sorted({
+        term for term in node.terms()
+        if term not in kept and present(term)
+    })
+    if not extras:
+        return pruned
+    score_branch = AndNode(
+        tuple(TermNode(term) for term in extras) + (pruned,)
+    )
+    return OrNode((pruned, score_branch))
+
+
 class _PoolLayout:
     """Aggregate address-space view over every sealed segment."""
 
@@ -318,6 +350,39 @@ class SegmentedIndex:
         self._next_segment_id += 1
         return segment_id
 
+    def claim_recovered_id(self, segment_id: int) -> None:
+        """Consume the next segment id for a recovered (loaded) segment.
+
+        Recovery loads segments from durable files instead of building
+        them, but the id sequence must advance exactly as it did in the
+        original run — a mismatch means the WAL and the in-memory
+        replay have diverged, which is a corruption, not a crash.
+        """
+        if segment_id != self._next_segment_id:
+            raise InvertedIndexError(
+                f"recovered segment id {segment_id} != expected "
+                f"{self._next_segment_id} — WAL and replay diverged"
+            )
+        self._next_segment_id += 1
+
+    def install_recovered_seal(self, segment: Segment) -> None:
+        """Install a durably-loaded seal in place of :meth:`seal`.
+
+        The write buffer must hold exactly the documents the segment
+        persists (replay put them there); they are drained without
+        rebuilding, since the loaded payload is already the sealed
+        bytes.
+        """
+        if set(segment.doc_lengths) != set(self.memseg.doc_ids()):
+            raise InvertedIndexError(
+                f"recovered segment {segment.segment_id} holds "
+                f"{sorted(segment.doc_lengths)[:5]}... but the replayed "
+                f"buffer holds {self.memseg.doc_ids()[:5]}..."
+            )
+        self.claim_recovered_id(segment.segment_id)
+        self.memseg.drain()
+        self._install(segment)
+
     def _install(self, segment: Segment) -> None:
         segment.pool_base = self._pool_cursor
         self._pool_cursor += segment.index.layout.allocated_bytes
@@ -411,8 +476,8 @@ class SegmentedIndex:
         candidates: List[ScoredDocument] = []
 
         for segment in self.segments:
-            pruned = prune_query(node,
-                                 lambda t, s=segment: t in s.index)
+            pruned = prune_query_scored(node,
+                                        lambda t, s=segment: t in s.index)
             if pruned is None:
                 continue
             engine = self._engine_for(segment)
@@ -505,11 +570,22 @@ class SegmentedIndex:
 
         Matching and scoring mirror the engines: boolean membership over
         the query tree, score summed over every query term present in
-        the document, with live IDFs and live normalizers.
+        the document, with live IDFs and live normalizers. Duplicate
+        query terms follow the engine's path-dependent rule: the union
+        fast path (a term, or an OR of terms) opens one cursor per term
+        *occurrence*, so duplicates score once per occurrence; every
+        other path merges per-term tf maps and collapses duplicates.
         """
         if len(self.memseg) == 0:
             return []
         terms = set(node.terms())
+        if isinstance(node, TermNode) or (
+            isinstance(node, OrNode)
+            and all(isinstance(c, TermNode) for c in node.children)
+        ):
+            multiplicity = Counter(node.terms())
+        else:
+            multiplicity = {term: 1 for term in terms}
         per_term: Dict[str, Dict[int, int]] = {}
         for term in terms:
             postings = {
@@ -537,8 +613,9 @@ class SegmentedIndex:
         hits = []
         for doc_id in sorted(matching(node)):
             score = sum(
-                scorer.term_score(self.stats.idf(term), tf_map[doc_id],
-                                  doc_id)
+                multiplicity[term]
+                * scorer.term_score(self.stats.idf(term), tf_map[doc_id],
+                                    doc_id)
                 for term, tf_map in per_term.items()
                 if doc_id in tf_map
             )

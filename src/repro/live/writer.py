@@ -74,11 +74,20 @@ class LiveIndexWriter:
         self.clock = VirtualClock() if clock is None else clock
         #: Every maintenance byte (seal writes, merge reads + writes).
         self.traffic = TrafficCounter()
-        self.scheduler = MergeScheduler(
+        self._observer = observer
+        self.scheduler = self._make_scheduler(
+            index=index, device=device, policy=policy,
+            validate=validate, observer=observer,
+        )
+
+    def _make_scheduler(self, *, index, device, policy, validate,
+                        observer) -> MergeScheduler:
+        """Scheduler factory — the durable writer overrides this to
+        return a :class:`~repro.live.durable.DurableMergeScheduler`."""
+        return MergeScheduler(
             index, device=device, clock=self.clock, policy=policy,
             traffic=self.traffic, validate=validate, observer=observer,
         )
-        self._observer = observer
 
     # ------------------------------------------------------------------
     # Mutations
@@ -101,8 +110,9 @@ class LiveIndexWriter:
         victim = self.index.oldest_live_doc()
         if victim is None:
             return None
-        self.index.delete_document(victim)
-        self._publish_state()
+        # Route through delete_document so overrides (the durable
+        # writer's WAL append) see every deletion path.
+        self.delete_document(victim)
         return victim
 
     def seal(self) -> Optional[Segment]:

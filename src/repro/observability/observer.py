@@ -104,6 +104,19 @@ class Observer:
                       write_amplification: float) -> None:
         """Live-index occupancy snapshot after a mutation."""
 
+    def on_wal_append(self, kind: str, nbytes: int) -> None:
+        """One WAL frame was durably appended (or re-charged during
+        recovery replay); ``kind`` is the record kind
+        (add/delete/seal/merge)."""
+
+    def on_manifest_write(self, nbytes: int, num_segments: int) -> None:
+        """The segment manifest was atomically replaced (or its write
+        re-charged during recovery replay)."""
+
+    def on_recovery_complete(self, report) -> None:
+        """A crash recovery finished; ``report`` is the
+        :class:`repro.live.durable.RecoveryReport`."""
+
 
 #: Shared do-nothing observer; the default everywhere.
 NULL_OBSERVER = Observer()
@@ -340,6 +353,48 @@ class RecordingObserver(Observer):
             "live.write_amplification",
             "total ST Index bytes over tier-0 seal bytes",
         ).set(write_amplification)
+
+    def on_wal_append(self, kind: str, nbytes: int) -> None:
+        self.registry.counter(
+            "live.wal.records", "WAL frames appended, by record kind"
+        ).inc(kind=kind)
+        self.registry.counter(
+            "live.wal.bytes", "sequential ST Index bytes from WAL frames"
+        ).inc(nbytes)
+
+    def on_manifest_write(self, nbytes: int, num_segments: int) -> None:
+        self.registry.counter(
+            "live.manifest.writes", "atomic manifest replacements"
+        ).inc()
+        self.registry.counter(
+            "live.manifest.bytes",
+            "sequential ST Index bytes from manifest writes",
+        ).inc(nbytes)
+
+    def on_recovery_complete(self, report) -> None:
+        self.registry.counter(
+            "live.recovery.runs", "crash recoveries completed"
+        ).inc(torn="none" if report.torn is None else report.torn)
+        self.registry.counter(
+            "live.recovery.records_replayed", "WAL records replayed"
+        ).inc(report.records_replayed)
+        self.registry.counter(
+            "live.recovery.segments", "segment dispositions during replay"
+        ).inc(report.segments_loaded, disposition="loaded")
+        self.registry.counter(
+            "live.recovery.segments", "segment dispositions during replay"
+        ).inc(report.segments_rebuilt, disposition="rebuilt")
+        self.registry.counter(
+            "live.recovery.torn_bytes", "WAL tail bytes truncated"
+        ).inc(report.torn_bytes)
+        self.registry.counter(
+            "live.recovery.orphans_removed",
+            "uncommitted segment files swept",
+        ).inc(report.orphans_removed)
+        self.registry.gauge(
+            "live.recovery.last_modeled_seconds",
+            "modeled device seconds of the last recovery's own I/O",
+        ).set(report.modeled_seconds)
 
     # ------------------------------------------------------------------
     # Registry publication

@@ -86,3 +86,104 @@ class TestCorruptionDetection:
         report = validate_index(clone, check_scores=False)
         assert not report.ok
         assert any("decode" in e for e in report.errors)
+
+
+class TestDurableStateValidation:
+    """validate_segmented's manifest/segment-file agreement checks —
+    both directions: committed-but-absent and present-but-uncommitted."""
+
+    @pytest.fixture()
+    def durable(self, tmp_path):
+        import random
+
+        from repro.live import (
+            DurableLiveIndexWriter,
+            MergePolicy,
+            load_manifest,
+        )
+
+        rng = random.Random("validate")
+        writer = DurableLiveIndexWriter(tmp_path / "wal", buffer_docs=8,
+                                        policy=MergePolicy(fanout=3))
+        vocab = [f"t{i}" for i in range(10)]
+        for _ in range(40):
+            writer.add_document(
+                [rng.choice(vocab) for _ in range(rng.randint(3, 10))]
+            )
+        writer.flush()
+        assert writer.index.num_segments >= 1
+        manifest = load_manifest(writer.manifest_path)
+        return writer, manifest
+
+    def test_agreeing_state_validates(self, durable):
+        from repro.index.validate import validate_segmented
+
+        writer, manifest = durable
+        report = validate_segmented(writer.index, check_scores=False,
+                                    manifest=manifest,
+                                    segment_dir=writer.wal_dir)
+        assert report.ok, report.errors
+
+    def test_orphan_segment_file_detected(self, durable):
+        from repro.index.validate import validate_segmented
+        from repro.live.segfile import segment_file_name
+
+        writer, manifest = durable
+        stray = writer.wal_dir / segment_file_name(4_999)
+        stray.write_bytes(b"leftover")
+        report = validate_segmented(writer.index, check_scores=False,
+                                    manifest=manifest,
+                                    segment_dir=writer.wal_dir)
+        assert not report.ok
+        assert any("orphan" in e for e in report.errors)
+
+    def test_missing_segment_file_detected(self, durable):
+        from repro.index.validate import validate_segmented
+        from repro.live.segfile import segment_file_name
+
+        writer, manifest = durable
+        victim = writer.index.segments[0].segment_id
+        (writer.wal_dir / segment_file_name(victim)).unlink()
+        report = validate_segmented(writer.index, check_scores=False,
+                                    manifest=manifest,
+                                    segment_dir=writer.wal_dir)
+        assert not report.ok
+        assert any("missing on disk" in e for e in report.errors)
+
+    def test_committed_but_not_installed_detected(self, durable):
+        from repro.index.validate import validate_segmented
+
+        writer, manifest = durable
+        manifest["segments"].append(
+            {"id": 4_999, "tier": 0, "nbytes": 1,
+             "num_docs": 1, "stats_version": 0}
+        )
+        report = validate_segmented(writer.index, check_scores=False,
+                                    manifest=manifest)
+        assert not report.ok
+        assert any("committed but not installed" in e
+                   for e in report.errors)
+
+    def test_installed_but_not_committed_detected(self, durable):
+        from repro.index.validate import validate_segmented
+
+        writer, manifest = durable
+        dropped = manifest["segments"][0]["id"]
+        manifest["segments"] = manifest["segments"][1:]
+        report = validate_segmented(writer.index, check_scores=False,
+                                    manifest=manifest)
+        assert not report.ok
+        assert any(f"segment {dropped} installed but not committed" in e
+                   for e in report.errors)
+
+    def test_metadata_mismatches_detected(self, durable):
+        from repro.index.validate import validate_segmented
+
+        writer, manifest = durable
+        manifest["segments"][0]["tier"] += 1
+        manifest["segments"][0]["nbytes"] += 7
+        report = validate_segmented(writer.index, check_scores=False,
+                                    manifest=manifest)
+        assert not report.ok
+        assert any("tier" in e for e in report.errors)
+        assert any("nbytes" in e for e in report.errors)

@@ -1,0 +1,235 @@
+"""Shared op-log machinery for the live-index differential tests.
+
+An :class:`Op` list is a *state-independent* description of an ingest
+schedule: adds carry their token stream, deletes carry an index into
+the live-docID list at that instant, explicit seals carry nothing.
+Because :func:`generate_ops` simulates the live count while generating,
+every delete is guaranteed applicable — the same list drives a plain
+:class:`~repro.live.LiveIndexWriter`, a durable writer, or a durable
+writer that crashes partway and resumes after recovery, with identical
+results.
+
+The crash harness leans on one mapping: for a mutation-only op list
+(``p_seal == 0``), the recovery report's ``mutations_replayed`` *is*
+the resume position — every WAL add/delete record corresponds to
+exactly one consumed op, in order, and a record torn mid-append never
+counts as durable.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.core.engine import BossAccelerator
+from repro.errors import QueryError
+from repro.index import IndexBuilder
+
+#: Every paper codec pinned, plus the hybrid selector (None).
+SCHEME_SETS = [None, ["BP"], ["VB"], ["OptPFD"], ["S16"], ["S8b"]]
+
+VOCAB = [f"t{i}" for i in range(14)]
+
+
+def random_doc(rng):
+    length = rng.randint(3, 16)
+    return [rng.choice(VOCAB) for _ in range(length)]
+
+
+@dataclass(frozen=True)
+class Op:
+    """One schedule step: ``add`` (with tokens), ``delete`` (``pick``
+    indexes the live-docID list), or an explicit ``seal``."""
+
+    kind: str
+    tokens: Tuple[str, ...] = ()
+    pick: int = 0
+
+    @property
+    def is_mutation(self) -> bool:
+        return self.kind in ("add", "delete")
+
+
+def generate_ops(seed, num_ops, p_add=0.62, p_delete=0.23,
+                 p_seal=0.0) -> List[Op]:
+    """A seeded, replayable schedule. Probabilities are cumulative-roll
+    style (remainder after add+delete+seal re-rolls as add); deletes
+    are only emitted while at least two documents are live, so the
+    schedule applies cleanly to any writer."""
+    rng = random.Random(f"oplog:{seed}")
+    ops: List[Op] = []
+    live = 0
+    for _ in range(num_ops):
+        roll = rng.random()
+        if roll < p_add or live <= 1:
+            ops.append(Op("add", tokens=tuple(random_doc(rng))))
+            live += 1
+        elif roll < p_add + p_delete:
+            ops.append(Op("delete", pick=rng.randrange(live)))
+            live -= 1
+        elif roll < p_add + p_delete + p_seal:
+            ops.append(Op("seal"))
+        else:
+            ops.append(Op("add", tokens=tuple(random_doc(rng))))
+            live += 1
+    return ops
+
+
+@dataclass
+class OpLogRunner:
+    """Applies ops to a writer while tracking the surviving corpus.
+
+    ``track`` advances the same bookkeeping *without* a writer —
+    used to fast-forward a runner to a recovered writer's resume
+    position (docIDs are allocated sequentially, so the bookkeeping
+    is a pure function of the op prefix).
+    """
+
+    docs_by_id: Dict[int, List[str]] = field(default_factory=dict)
+    live_ids: List[int] = field(default_factory=list)
+    applied: int = 0
+    _next_id: int = 0
+
+    def apply(self, writer, ops, on_op=None) -> "OpLogRunner":
+        for op in ops:
+            if op.kind == "add":
+                doc_id = writer.add_document(list(op.tokens))
+                assert doc_id == self._next_id
+                self._record_add(op)
+            elif op.kind == "delete":
+                victim = self.live_ids[op.pick % len(self.live_ids)]
+                writer.delete_document(victim)
+                self.live_ids.remove(victim)
+            else:
+                writer.seal()
+            self.applied += 1
+            if on_op is not None:
+                on_op(self.applied)
+        return self
+
+    def track(self, ops) -> "OpLogRunner":
+        """Bookkeeping-only application (no writer mutation)."""
+        for op in ops:
+            if op.kind == "add":
+                self._record_add(op)
+            elif op.kind == "delete":
+                self.live_ids.remove(
+                    self.live_ids[op.pick % len(self.live_ids)]
+                )
+            self.applied += 1
+        return self
+
+    def _record_add(self, op) -> None:
+        self.docs_by_id[self._next_id] = list(op.tokens)
+        self.live_ids.append(self._next_id)
+        self._next_id += 1
+
+
+def rebuild_monolith(docs_by_id, stats, schemes):
+    """Fresh build of the survivors; returns (engine, compact->global)."""
+    survivors = sorted(
+        doc_id for doc_id in docs_by_id if stats.is_live(doc_id)
+    )
+    builder = IndexBuilder(schemes=schemes)
+    for doc_id in survivors:
+        builder.add_document(docs_by_id[doc_id])
+    return BossAccelerator(builder.build()), survivors
+
+
+def check_equivalence(writer, docs_by_id, schemes, rng, k=10):
+    """Live index answers == monolithic rebuild of the survivors."""
+    engine, id_map = rebuild_monolith(docs_by_id, writer.index.stats,
+                                      schemes)
+    live_terms = set(writer.index.terms)
+    queries = [
+        '"t0"',
+        '"t1" OR "t3"',
+        '"t0" AND "t2"',
+        '("t0" AND "t1") OR "t4"',
+        f'"{rng.choice(VOCAB)}" OR "{rng.choice(VOCAB)}"',
+    ]
+    for expression in queries:
+        terms = {t.strip('"') for t in expression.replace("(", " ")
+                 .replace(")", " ").split() if t.startswith('"')}
+        if not terms <= live_terms:
+            # Both sides must refuse a dead term identically.
+            with pytest.raises(QueryError):
+                writer.index.search(expression, k=k)
+            with pytest.raises(QueryError):
+                engine.search(expression, k=k)
+            continue
+        live = writer.index.search(expression, k=k)
+        mono = engine.search(expression, k=k)
+        live_pairs = [
+            (hit.doc_id, round(hit.score, 9)) for hit in live.hits
+        ]
+        mono_pairs = [
+            (id_map[hit.doc_id], round(hit.score, 9)) for hit in mono.hits
+        ]
+        assert live_pairs == mono_pairs, (
+            f"{expression}: live {live_pairs} != rebuild {mono_pairs}"
+        )
+
+
+def writer_signature(writer) -> dict:
+    """Everything two equivalent writers must agree on, bit for bit:
+    segment layout, buffer, statistics version, merge/seal history,
+    busy-window timeline, and the per-tier write ledger."""
+    index = writer.index
+    return {
+        "segments": [
+            (s.segment_id, s.tier, s.nbytes, s.stats_version,
+             sorted(s.doc_lengths.items()), sorted(s.tombstones))
+            for s in index.segments
+        ],
+        "buffer": sorted(index.memseg.doc_ids()),
+        "num_docs": index.stats.num_docs,
+        "total_tokens": index.stats.total_tokens,
+        "version": index.stats.version,
+        "seals": list(writer.scheduler.seals),
+        "merges": [
+            (r.output_id, r.tier, r.input_ids, r.bytes_read,
+             r.bytes_written, r.started, r.finished)
+            for r in writer.scheduler.records
+        ],
+        "busy_until": writer.scheduler.busy_until,
+        "busy_seconds": writer.scheduler.busy_seconds,
+        "tier_bytes": dict(writer.scheduler.bytes_written_by_tier),
+    }
+
+
+def assert_same_state(left, right):
+    """Field-by-field writer_signature comparison (clearer failures
+    than one giant dict assert)."""
+    sig_left, sig_right = writer_signature(left), writer_signature(right)
+    for key in sig_left:
+        assert sig_left[key] == sig_right[key], (
+            f"{key}: {sig_left[key]!r} != {sig_right[key]!r}"
+        )
+
+
+def assert_same_answers(left, right, rng, k=10):
+    """Top-k parity between two writers over the standard query set."""
+    queries = [
+        '"t0"',
+        '"t1" OR "t3"',
+        '"t0" AND "t2"',
+        f'"{rng.choice(VOCAB)}" OR "{rng.choice(VOCAB)}"',
+    ]
+    live_terms = set(left.index.terms)
+    assert live_terms == set(right.index.terms)
+    for expression in queries:
+        terms = {t.strip('"') for t in expression.replace("(", " ")
+                 .replace(")", " ").split() if t.startswith('"')}
+        if not terms <= live_terms:
+            continue
+        hits_left = [
+            (h.doc_id, round(h.score, 9))
+            for h in left.index.search(expression, k=k).hits
+        ]
+        hits_right = [
+            (h.doc_id, round(h.score, 9))
+            for h in right.index.search(expression, k=k).hits
+        ]
+        assert hits_left == hits_right, expression

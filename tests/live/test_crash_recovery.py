@@ -1,0 +1,304 @@
+"""The kill-and-recover differential oracle.
+
+The durability contract: kill a :class:`~repro.live.DurableLiveIndexWriter`
+at *any* commit boundary, recover the directory, and the recovered
+writer is indistinguishable — segment layout, buffer, statistics,
+merge/seal history with busy-windows, top-k answers — from a clean
+in-memory replay (:func:`~repro.live.replay_log`) of the exact WAL the
+crash left behind. The oracle enumerates seeded interleavings ×
+kill-points × codecs and holds every recovery to that reference,
+including a crash *during* recovery (double crash) and resuming ingest
+after recovery.
+
+Conservation invariant checked throughout: a durable writer's
+``ST Index`` bytes decompose exactly into seal/merge rewrites (the
+per-tier ledger), WAL frames, and manifest writes — nothing charged
+twice, nothing dropped, even across a crash/recover seam.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import CrashError, InvertedIndexError
+from repro.faults import CrashSchedule
+from repro.index import IndexBuilder
+from repro.index.validate import validate_segmented
+from repro.live import (
+    AddRecord,
+    DurableLiveIndexWriter,
+    MergePolicy,
+    WAL_NAME,
+    load_manifest,
+    read_wal,
+    recover,
+    recover_live_index,
+    replay_log,
+)
+from repro.scm.traffic import AccessClass
+
+from tests.live.oplog import (
+    SCHEME_SETS,
+    OpLogRunner,
+    assert_same_answers,
+    assert_same_state,
+    generate_ops,
+    random_doc,
+)
+
+#: Occurrence picked per kill-point so each crash lands after real
+#: prior state exists (earlier seals/merges already durable).
+KILL_PLANS = [
+    ("before_seal", 3),
+    ("after_seal_pre_manifest", 3),
+    ("mid_merge", 2),
+    ("after_merge_pre_commit", 2),
+    ("mid_wal_append", 60),
+]
+
+WRITER_KW = dict(buffer_docs=12, policy=None)  # policy built per call
+
+
+def make_writer(wal_dir, schemes, crash_schedule=None):
+    return DurableLiveIndexWriter(
+        wal_dir, schemes=schemes, buffer_docs=12,
+        policy=MergePolicy(fanout=3), crash_schedule=crash_schedule,
+    )
+
+
+def clean_reference(wal_dir, schemes):
+    """Replay the WAL as it stands now into a fresh in-memory writer."""
+    scan = read_wal(wal_dir / WAL_NAME)
+    assert scan.torn is None, "reference WAL must be clean post-recovery"
+    return replay_log(scan.records, schemes=schemes, buffer_docs=12,
+                      policy=MergePolicy(fanout=3))
+
+
+def assert_conservation(writer):
+    """ST Index == per-tier rewrites + WAL frames + manifest writes."""
+    st_index = writer.traffic.bytes_for(AccessClass.ST_INDEX)
+    tiers = sum(writer.scheduler.bytes_written_by_tier.values())
+    assert st_index == (tiers + writer.wal.bytes_logged
+                        + writer.manifest_bytes), (
+        f"{st_index} != tiers {tiers} + wal {writer.wal.bytes_logged} "
+        f"+ manifest {writer.manifest_bytes}"
+    )
+
+
+def run_crash_cycle(wal_dir, seed, schemes, kill_point, occurrence,
+                    *, torn_mode="truncate", num_ops=220):
+    """Ingest until the armed crash fires, recover, and hold the
+    recovered writer to the clean-replay reference. Returns
+    ``(recovered, report)`` for extra per-test assertions."""
+    schedule = CrashSchedule(kill_point, occurrence, seed=seed,
+                             torn_mode=torn_mode)
+    writer = make_writer(wal_dir, schemes, crash_schedule=schedule)
+    ops = generate_ops(seed, num_ops, p_add=0.62, p_delete=0.23,
+                       p_seal=0.15)
+    with pytest.raises(CrashError):
+        OpLogRunner().apply(writer, ops)
+    assert schedule.fired, f"{kill_point} never armed within {num_ops} ops"
+
+    recovered, report = recover(wal_dir)
+    assert report is not None
+    # Recovery's completion maintenance may have extended the WAL;
+    # the reference replays the log as recovery left it.
+    reference = clean_reference(wal_dir, schemes)
+    assert_same_state(recovered, reference)
+    assert_same_answers(recovered, reference,
+                        random.Random(f"crash:{seed}"))
+    assert_conservation(recovered)
+    assert recovered.wal.records_logged == (report.records_replayed
+                                            + report.completion_seals
+                                            + report.completion_merges)
+    recovered.close()
+    return recovered, report
+
+
+@pytest.mark.parametrize("kill_point,occurrence", KILL_PLANS,
+                         ids=[k for k, _ in KILL_PLANS])
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_kill_points_recover_to_clean_replay(tmp_path, seed,
+                                             kill_point, occurrence):
+    run_crash_cycle(tmp_path / "wal", seed, None, kill_point, occurrence)
+
+
+@pytest.mark.parametrize("schemes", SCHEME_SETS,
+                         ids=lambda s: "hybrid" if s is None else s[0])
+@pytest.mark.parametrize("kill_point,occurrence",
+                         [("after_seal_pre_manifest", 3),
+                          ("mid_wal_append", 60)],
+                         ids=["post-seal", "torn-append"])
+def test_every_codec_crash_recovers(tmp_path, schemes, kill_point,
+                                    occurrence):
+    run_crash_cycle(tmp_path / "wal", 7, schemes, kill_point, occurrence)
+
+
+@pytest.mark.parametrize("torn_mode,expected",
+                         [("truncate", "truncated"),
+                          ("corrupt", "corrupted")])
+def test_torn_tail_modes_detected(tmp_path, torn_mode, expected):
+    """Both tear shapes are detected, attributed, and truncated away."""
+    _, report = run_crash_cycle(tmp_path / "wal", 4, None,
+                                "mid_wal_append", 50,
+                                torn_mode=torn_mode)
+    assert report.torn == expected
+    assert report.torn_bytes > 0
+    # The torn record never counted as durable: the next recovery of
+    # the same directory sees a clean log.
+    recovered, second = recover(tmp_path / "wal")
+    assert second.torn is None
+    assert second.torn_bytes == 0
+    recovered.close()
+
+
+@pytest.mark.parametrize("seed", [11, 12])
+def test_double_crash_during_recovery(tmp_path, seed):
+    """Recovery itself is crash-consistent: kill it mid-replay, then
+    recover again — the final writer still matches the clean replay."""
+    wal_dir = tmp_path / "wal"
+    schedule = CrashSchedule("after_seal_pre_manifest", 3, seed=seed)
+    writer = make_writer(wal_dir, None, crash_schedule=schedule)
+    ops = generate_ops(seed, 220, p_add=0.62, p_delete=0.23, p_seal=0.15)
+    with pytest.raises(CrashError):
+        OpLogRunner().apply(writer, ops)
+
+    with pytest.raises(CrashError):
+        recover(wal_dir,
+                crash_schedule=CrashSchedule("mid_recovery", 2,
+                                             seed=seed))
+
+    recovered, report = recover(wal_dir)
+    reference = clean_reference(wal_dir, None)
+    assert_same_state(recovered, reference)
+    assert_same_answers(recovered, reference,
+                        random.Random(f"double:{seed}"))
+    assert_conservation(recovered)
+    recovered.close()
+
+
+def test_resume_and_continue_after_crash(tmp_path):
+    """``mutations_replayed`` is the exact op-stream resume position:
+    recover, replay the rest of the schedule, and the finished index
+    matches a clean replay of the final WAL."""
+    wal_dir = tmp_path / "wal"
+    seed = 21
+    ops = generate_ops(seed, 180, p_add=0.62, p_delete=0.23, p_seal=0.0)
+    schedule = CrashSchedule("mid_wal_append", 70, seed=seed)
+    writer = make_writer(wal_dir, None, crash_schedule=schedule)
+    with pytest.raises(CrashError):
+        OpLogRunner().apply(writer, ops)
+
+    recovered, report = recover(wal_dir)
+    assert report.torn == "truncated"
+    done = report.mutations_replayed
+    assert 0 < done < len(ops)
+
+    runner = OpLogRunner().track(ops[:done])
+    runner.apply(recovered, ops[done:])
+    assert_conservation(recovered)
+
+    reference = clean_reference(wal_dir, None)
+    assert_same_state(recovered, reference)
+    assert_same_answers(recovered, reference,
+                        random.Random("resume"))
+    recovered.close()
+
+
+def test_compaction_after_recovery_matches_monolith(tmp_path):
+    """Append-only crash cycle: recover, flush, compact to one segment
+    — byte-identical postings to a fresh monolithic build of the same
+    documents (read back from the WAL's own add records)."""
+    wal_dir = tmp_path / "wal"
+    rng = random.Random("compact-crash")
+    schedule = CrashSchedule("after_seal_pre_manifest", 4)
+    writer = make_writer(wal_dir, None, crash_schedule=schedule)
+    with pytest.raises(CrashError):
+        for _ in range(120):
+            writer.add_document(random_doc(rng))
+
+    recovered, _ = recover(wal_dir)
+    scan = read_wal(wal_dir / WAL_NAME)
+    docs = {r.doc_id: list(r.tokens) for r in scan.records
+            if isinstance(r, AddRecord)}
+    assert docs, "crash cycle produced no durable adds"
+
+    recovered.flush()
+    recovered.scheduler.compact_all()
+    assert recovered.index.num_segments == 1
+    segment = recovered.index.segments[0]
+
+    builder = IndexBuilder()
+    for doc_id in sorted(docs):
+        builder.add_document(docs[doc_id])
+    mono = builder.build()
+
+    assert sorted(segment.index.terms) == sorted(mono.terms)
+    for term in mono.terms:
+        live_list = segment.index.posting_list(term)
+        mono_list = mono.posting_list(term)
+        assert live_list.scheme == mono_list.scheme
+        assert len(live_list.blocks) == len(mono_list.blocks)
+        for ours, theirs in zip(live_list.blocks, mono_list.blocks):
+            assert ours.doc_payload == theirs.doc_payload
+            assert ours.tf_payload == theirs.tf_payload
+    recovered.close()
+
+
+def test_recover_live_index_entry_point(tmp_path):
+    """Fresh directory -> new writer + ``None`` report; existing WAL ->
+    full recovery. The CLI rides this exact helper."""
+    wal_dir = tmp_path / "wal"
+    writer, report = recover_live_index(wal_dir, buffer_docs=12,
+                                        policy=MergePolicy(fanout=3))
+    assert report is None
+    rng = random.Random("entry")
+    for _ in range(30):
+        writer.add_document(random_doc(rng))
+    writer.close()
+
+    resumed, report = recover_live_index(wal_dir)
+    assert report is not None
+    assert report.mutations_replayed == 30
+    reference = clean_reference(wal_dir, None)
+    assert_same_state(resumed, reference)
+    resumed.close()
+
+
+def test_fresh_writer_refuses_existing_wal(tmp_path):
+    wal_dir = tmp_path / "wal"
+    writer = make_writer(wal_dir, None)
+    writer.add_document(["a", "b"])
+    writer.close()
+    with pytest.raises(InvertedIndexError, match="recover"):
+        make_writer(wal_dir, None)
+
+
+def test_recover_requires_a_wal(tmp_path):
+    with pytest.raises(InvertedIndexError, match="no WAL"):
+        recover(tmp_path / "nowhere")
+
+
+def test_recovery_report_accounting(tmp_path):
+    """The report's replay tallies agree with the WAL it scanned, its
+    own traffic is priced, and the recovered state revalidates against
+    the durable manifest."""
+    wal_dir = tmp_path / "wal"
+    _, report = run_crash_cycle(wal_dir, 5, None,
+                                "after_merge_pre_commit", 2)
+    assert report.records_replayed == (report.mutations_replayed
+                                       + report.seals_replayed
+                                       + report.merges_replayed)
+    assert report.merges_replayed >= 1
+    assert report.segments_loaded + report.segments_rebuilt > 0
+    assert report.wal_bytes_scanned > 0
+    assert report.traffic.bytes_for(AccessClass.LD_LIST) > 0
+    assert report.modeled_seconds > 0.0
+
+    recovered, _ = recover(wal_dir)
+    manifest = load_manifest(recovered.manifest_path)
+    check = validate_segmented(recovered.index, check_scores=False,
+                               manifest=manifest,
+                               segment_dir=recovered.wal_dir)
+    assert check.ok, check.errors[:5]
+    recovered.close()

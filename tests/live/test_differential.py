@@ -8,105 +8,52 @@ same scores (to the shared 9-digit comparison), same order. The compact
 docIDs of the rebuild map to surviving global docIDs in ascending
 order.
 
-Runs seeded-random interleavings against every paper codec plus the
-hybrid selector, with result checks at several intermediate points, so
-fresh buffers, stale segments, tombstones, and merge outputs all get
-exercised mid-stream rather than only at quiescence.
+Runs seeded-random op logs (the shared :mod:`tests.live.oplog`
+schedules, also driven by the crash-recovery oracle) against every
+paper codec plus the hybrid selector, with result checks at several
+intermediate points, so fresh buffers, stale segments, tombstones, and
+merge outputs all get exercised mid-stream rather than only at
+quiescence.
 """
 
 import random
 
 import pytest
 
-from repro.core.engine import BossAccelerator
-from repro.errors import QueryError
 from repro.index import IndexBuilder
 from repro.index.validate import validate_segmented
 from repro.live import LiveIndexWriter, MergePolicy
 
-SCHEME_SETS = [None, ["BP"], ["VB"], ["OptPFD"], ["S16"], ["S8b"]]
-
-VOCAB = [f"t{i}" for i in range(14)]
-
-
-def random_doc(rng):
-    length = rng.randint(3, 16)
-    return [rng.choice(VOCAB) for _ in range(length)]
-
-
-def rebuild_monolith(docs_by_id, stats, schemes):
-    """Fresh build of the survivors; returns (engine, compact->global)."""
-    survivors = sorted(
-        doc_id for doc_id in docs_by_id if stats.is_live(doc_id)
-    )
-    builder = IndexBuilder(schemes=schemes)
-    for doc_id in survivors:
-        builder.add_document(docs_by_id[doc_id])
-    return BossAccelerator(builder.build()), survivors
-
-
-def check_equivalence(writer, docs_by_id, schemes, rng, k=10):
-    engine, id_map = rebuild_monolith(docs_by_id, writer.index.stats,
-                                      schemes)
-    live_terms = set(writer.index.terms)
-    queries = [
-        '"t0"',
-        '"t1" OR "t3"',
-        '"t0" AND "t2"',
-        '("t0" AND "t1") OR "t4"',
-        f'"{rng.choice(VOCAB)}" OR "{rng.choice(VOCAB)}"',
-    ]
-    for expression in queries:
-        terms = {t.strip('"') for t in expression.replace("(", " ")
-                 .replace(")", " ").split() if t.startswith('"')}
-        if not terms <= live_terms:
-            # Both sides must refuse a dead term identically.
-            with pytest.raises(QueryError):
-                writer.index.search(expression, k=k)
-            with pytest.raises(QueryError):
-                engine.search(expression, k=k)
-            continue
-        live = writer.index.search(expression, k=k)
-        mono = engine.search(expression, k=k)
-        live_pairs = [
-            (hit.doc_id, round(hit.score, 9)) for hit in live.hits
-        ]
-        mono_pairs = [
-            (id_map[hit.doc_id], round(hit.score, 9)) for hit in mono.hits
-        ]
-        assert live_pairs == mono_pairs, (
-            f"{expression}: live {live_pairs} != rebuild {mono_pairs}"
-        )
+from tests.live.oplog import (
+    SCHEME_SETS,
+    OpLogRunner,
+    check_equivalence,
+    generate_ops,
+    random_doc,
+)
 
 
 def run_interleaving(seed, schemes, num_ops=160):
     rng = random.Random(f"diff:{seed}")
     writer = LiveIndexWriter(schemes=schemes, buffer_docs=12,
                              policy=MergePolicy(fanout=3), validate=True)
-    docs_by_id = {}
-    live_ids = []
-    checks = 0
-    for op_index in range(num_ops):
-        roll = rng.random()
-        if roll < 0.62 or not live_ids:
-            tokens = random_doc(rng)
-            doc_id = writer.add_document(tokens)
-            docs_by_id[doc_id] = tokens
-            live_ids.append(doc_id)
-        elif roll < 0.85:
-            victim = live_ids.pop(rng.randrange(len(live_ids)))
-            writer.delete_document(victim)
-        else:
-            writer.seal()
-        if op_index % 40 == 39 and len(live_ids) >= 2:
-            check_equivalence(writer, docs_by_id, schemes, rng)
-            checks += 1
+    ops = generate_ops(seed, num_ops, p_add=0.62, p_delete=0.23,
+                       p_seal=0.15)
+    runner = OpLogRunner()
+    checks = []
+
+    def mid_stream_check(applied):
+        if applied % 40 == 0 and len(runner.live_ids) >= 2:
+            check_equivalence(writer, runner.docs_by_id, schemes, rng)
+            checks.append(applied)
+
+    runner.apply(writer, ops, on_op=mid_stream_check)
     report = validate_segmented(writer.index, check_scores=True)
     assert report.ok, report.errors[:5]
-    if len(live_ids) >= 2:
-        check_equivalence(writer, docs_by_id, schemes, rng)
-        checks += 1
-    assert checks >= 2
+    if len(runner.live_ids) >= 2:
+        check_equivalence(writer, runner.docs_by_id, schemes, rng)
+        checks.append(len(ops))
+    assert len(checks) >= 2
     return writer
 
 
@@ -118,7 +65,7 @@ def test_interleavings_match_monolithic_rebuild(schemes):
 
 
 def test_deep_interleaving_with_merges_hybrid():
-    """A longer run that provably reaches tier-2 merges."""
+    """A longer run that provably reaches tier-1+ merges."""
     writer = run_interleaving(99, None, num_ops=400)
     tiers = {segment.tier for segment in writer.index.segments}
     assert len(writer.scheduler.records) >= 3

@@ -1,0 +1,112 @@
+"""Merge-scheduler determinism pins (with and without a crash).
+
+The performance model leans on the merge timeline being a pure function
+of the op log: tier assignment, merge inputs/outputs, busy-windows, and
+the per-tier write ledger must come out identical on every run of the
+same schedule. These tests pin that two ways:
+
+* two independent durable runs of one schedule are *file-level*
+  byte-identical (WAL and manifest) and state-identical;
+* a crash + recovery + resume in the middle of the schedule converges
+  to exactly the uncrashed run — same merge sequence, same busy
+  windows, same WAL/manifest accounting — so durability is invisible
+  to the model.
+"""
+
+import pytest
+
+from repro.errors import CrashError
+from repro.faults import CrashSchedule
+from repro.live import (
+    DurableLiveIndexWriter,
+    MANIFEST_NAME,
+    MergePolicy,
+    WAL_NAME,
+    recover,
+)
+from repro.scm.traffic import AccessClass
+
+from tests.live.oplog import (
+    OpLogRunner,
+    assert_same_state,
+    generate_ops,
+)
+
+SEED = 31
+#: Mutation-only schedule: seal boundaries come solely from the buffer
+#: bound, so the WAL position of every seal/merge is deterministic.
+OPS = generate_ops(SEED, 200, p_add=0.62, p_delete=0.23, p_seal=0.0)
+
+
+def durable_run(wal_dir, crash_schedule=None):
+    return DurableLiveIndexWriter(
+        wal_dir, buffer_docs=8, policy=MergePolicy(fanout=3),
+        crash_schedule=crash_schedule,
+    )
+
+
+def assert_same_accounting(left, right):
+    assert left.wal.records_logged == right.wal.records_logged
+    assert left.wal.bytes_logged == right.wal.bytes_logged
+    assert left.manifest_writes == right.manifest_writes
+    assert left.manifest_bytes == right.manifest_bytes
+    for access_class in AccessClass:
+        assert (left.traffic.bytes_for(access_class)
+                == right.traffic.bytes_for(access_class)), access_class
+
+
+def test_identical_runs_are_byte_identical(tmp_path):
+    """Same schedule, two directories: identical in-memory state and
+    byte-identical durable artifacts."""
+    a = durable_run(tmp_path / "a")
+    OpLogRunner().apply(a, OPS)
+    b = durable_run(tmp_path / "b")
+    OpLogRunner().apply(b, OPS)
+
+    assert len(a.scheduler.records) >= 2, "schedule too small to pin merges"
+    assert_same_state(a, b)
+    assert_same_accounting(a, b)
+    a.close()
+    b.close()
+    assert ((tmp_path / "a" / WAL_NAME).read_bytes()
+            == (tmp_path / "b" / WAL_NAME).read_bytes())
+    assert ((tmp_path / "a" / MANIFEST_NAME).read_bytes()
+            == (tmp_path / "b" / MANIFEST_NAME).read_bytes())
+
+
+@pytest.mark.parametrize("kill_point,occurrence",
+                         [("before_seal", 4),
+                          ("mid_merge", 2),
+                          ("after_merge_pre_commit", 2),
+                          ("mid_wal_append", 55)],
+                         ids=["pre-seal", "mid-merge", "pre-commit",
+                              "torn-append"])
+def test_crash_recover_resume_equals_uncrashed_run(tmp_path, kill_point,
+                                                   occurrence):
+    """Crash/recover/resume converges to the uncrashed run exactly:
+    merge sequence, busy-window timeline, tier ledger, WAL and manifest
+    accounting all match, so the crash is invisible afterwards."""
+    clean = durable_run(tmp_path / "clean")
+    OpLogRunner().apply(clean, OPS)
+    assert len(clean.scheduler.records) >= 2
+
+    schedule = CrashSchedule(kill_point, occurrence, seed=SEED)
+    crashed = durable_run(tmp_path / "crashed", crash_schedule=schedule)
+    with pytest.raises(CrashError):
+        OpLogRunner().apply(crashed, OPS)
+    assert schedule.fired
+
+    resumed, report = recover(tmp_path / "crashed")
+    done = report.mutations_replayed
+    assert 0 < done < len(OPS)
+    runner = OpLogRunner().track(OPS[:done])
+    runner.apply(resumed, OPS[done:])
+
+    assert_same_state(clean, resumed)
+    assert_same_accounting(clean, resumed)
+    clean.close()
+    resumed.close()
+    assert ((tmp_path / "clean" / WAL_NAME).read_bytes()
+            == (tmp_path / "crashed" / WAL_NAME).read_bytes())
+    assert ((tmp_path / "clean" / MANIFEST_NAME).read_bytes()
+            == (tmp_path / "crashed" / MANIFEST_NAME).read_bytes())

@@ -11,7 +11,14 @@ import random
 
 import pytest
 
-from repro.live import LiveIndexWriter, MergePolicy
+from repro.errors import CrashError
+from repro.faults import CrashSchedule
+from repro.live import (
+    DurableLiveIndexWriter,
+    LiveIndexWriter,
+    MergePolicy,
+    recover,
+)
 from repro.observability import NULL_OBSERVER, RecordingObserver
 from repro.scm.traffic import AccessClass
 
@@ -124,3 +131,104 @@ class TestTrafficConservation:
             sum(tiers.values()) / tiers[0]
         )
         assert writer.write_amplification > 1.0
+
+
+@pytest.fixture()
+def durable_observed_writer(tmp_path):
+    observer = RecordingObserver()
+    writer = DurableLiveIndexWriter(tmp_path / "wal", buffer_docs=4,
+                                    policy=MergePolicy(fanout=3),
+                                    observer=observer)
+    churn(writer, 30, delete_every=7)
+    writer.flush()
+    return writer, observer.registry
+
+
+class TestDurableMetrics:
+    def test_wal_counters_match_the_log(self, durable_observed_writer):
+        writer, registry = durable_observed_writer
+        records = registry.counter("live.wal.records")
+        assert records.total() == writer.wal.records_logged
+        assert records.value(kind="add") == 30
+        assert records.value(kind="delete") == 4  # 30 adds, every 7th
+        assert records.value(kind="seal") == len(writer.scheduler.seals)
+        assert records.value(kind="merge") == len(
+            writer.scheduler.records
+        )
+        assert registry.counter("live.wal.bytes").total() == (
+            writer.wal.bytes_logged
+        )
+
+    def test_manifest_counters_match_the_writer(
+        self, durable_observed_writer
+    ):
+        writer, registry = durable_observed_writer
+        assert registry.counter("live.manifest.writes").total() == (
+            writer.manifest_writes
+        )
+        assert registry.counter("live.manifest.bytes").total() == (
+            writer.manifest_bytes
+        )
+        # v0 + one per seal + one per merge commit.
+        assert writer.manifest_writes == (
+            1 + len(writer.scheduler.seals)
+            + len(writer.scheduler.records)
+        )
+
+    def test_durable_st_index_conservation(self, durable_observed_writer):
+        """ST Index == seals + merge rewrites + WAL frames + manifests,
+        both in the traffic counter and in the published metrics."""
+        writer, registry = durable_observed_writer
+        recorded = writer.traffic.bytes_for(AccessClass.ST_INDEX)
+        published = (
+            registry.counter("live.seal_bytes").total()
+            + registry.counter("live.merge_write_bytes").total()
+            + registry.counter("live.wal.bytes").total()
+            + registry.counter("live.manifest.bytes").total()
+        )
+        by_parts = (
+            sum(writer.bytes_written_by_tier.values())
+            + writer.wal.bytes_logged + writer.manifest_bytes
+        )
+        assert recorded == published == by_parts
+
+    def test_recovery_metrics_published(self, tmp_path):
+        crashed = DurableLiveIndexWriter(
+            tmp_path / "wal", buffer_docs=4,
+            policy=MergePolicy(fanout=3),
+            crash_schedule=CrashSchedule("mid_wal_append", 25),
+        )
+        with pytest.raises(CrashError):
+            churn(crashed, 40, delete_every=7)
+
+        observer = RecordingObserver()
+        writer, report = recover(tmp_path / "wal", observer=observer)
+        registry = observer.registry
+        runs = registry.counter("live.recovery.runs")
+        assert runs.total() == 1
+        assert runs.value(torn="truncated") == 1
+        assert registry.counter(
+            "live.recovery.records_replayed"
+        ).total() == report.records_replayed
+        segments = registry.counter("live.recovery.segments")
+        assert segments.value(disposition="loaded") == (
+            report.segments_loaded
+        )
+        assert segments.value(disposition="rebuilt") == (
+            report.segments_rebuilt
+        )
+        assert registry.counter("live.recovery.torn_bytes").total() == (
+            report.torn_bytes
+        )
+        assert registry.gauge(
+            "live.recovery.last_modeled_seconds"
+        ).value() == pytest.approx(report.modeled_seconds)
+        # The recovered writer reports to the same observer: replayed
+        # WAL frames and manifests land in the live.* counters too.
+        assert registry.counter("live.wal.bytes").total() == (
+            writer.wal.bytes_logged
+        )
+        assert registry.counter("live.manifest.writes").total() == (
+            writer.manifest_writes
+        )
+        writer.close()

@@ -293,3 +293,58 @@ class TestServe:
                      "--queries", "8", "--rate", "200",
                      "--unique", "4"]) == 0
         assert "8 requests" in capsys.readouterr().out
+
+
+class TestIngestCommand:
+    def test_ingest_reports_traffic(self, capsys):
+        import json
+
+        assert main(["ingest", "--docs", "120", "--buffer", "16",
+                     "--fanout", "3", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["docs_ingested"] == 120
+        assert record["validation_ok"] is True
+        assert record["seals"] > 0
+        assert record["index_write_bytes"] >= record["sealed_bytes"]
+
+    def test_ingest_wal_dir_fresh_then_recovered(self, tmp_path, capsys):
+        import json
+
+        wal_dir = tmp_path / "wal"
+        assert main(["ingest", "--docs", "120", "--buffer", "16",
+                     "--fanout", "3", "--wal-dir", str(wal_dir),
+                     "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["validation_ok"] is True
+        assert first["recovery"] is None
+        assert first["wal"]["records_logged"] > 120  # adds + commits
+        assert first["wal"]["bytes_logged"] > 0
+        assert first["wal"]["manifest_writes"] == (
+            1 + first["seals"] + first["merges"]
+        )
+        assert (wal_dir / "wal.log").exists()
+        assert (wal_dir / "MANIFEST.json").exists()
+
+        # A second run over the same directory recovers before ingesting.
+        assert main(["ingest", "--docs", "40", "--buffer", "16",
+                     "--fanout", "3", "--wal-dir", str(wal_dir),
+                     "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["validation_ok"] is True
+        recovery = second["recovery"]
+        assert recovery is not None
+        assert recovery["records_replayed"] == first["wal"]["records_logged"]
+        assert recovery["mutations_replayed"] == 120
+        assert recovery["torn"] is None
+        assert recovery["segments_loaded"] + recovery["segments_rebuilt"] > 0
+        assert second["wal"]["records_logged"] > recovery["records_replayed"]
+
+    def test_ingest_wal_dir_human_output(self, tmp_path, capsys):
+        wal_dir = tmp_path / "wal"
+        assert main(["ingest", "--docs", "60", "--buffer", "16",
+                     "--wal-dir", str(wal_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "WAL:" in out
+        assert main(["ingest", "--docs", "20", "--buffer", "16",
+                     "--wal-dir", str(wal_dir)]) == 0
+        assert "recovered:" in capsys.readouterr().out
