@@ -62,7 +62,11 @@ from repro.index import (
     BM25Scorer,
     IndexBuilder,
     InvertedIndex,
+    MmapIndexStorage,
+    load_index_mmap,
+    open_index,
 )
+from repro.index.binaryio import load_index_binary, save_index_binary
 from repro.index.io import load_index, save_index
 from repro.live import (
     DurableLiveIndexWriter,
@@ -121,6 +125,11 @@ __all__ = [
     "BM25Scorer",
     "save_index",
     "load_index",
+    "save_index_binary",
+    "load_index_binary",
+    "load_index_mmap",
+    "open_index",
+    "MmapIndexStorage",
     # queries & results
     "parse_query",
     "classify_query",

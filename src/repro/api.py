@@ -29,7 +29,7 @@ from repro.decompressor.configs import BUILTIN_PROGRAMS
 from repro.decompressor.program import DecompressorProgram, parse_program
 from repro.errors import ConfigurationError, QueryError
 from repro.index.index import InvertedIndex
-from repro.index.io import load_index
+from repro.index.loader import open_index
 from repro.observability.observer import NULL_OBSERVER, Observer
 
 #: Hardware limit: four chained BOSS cores of 4-way mergers (Section IV-D).
@@ -68,7 +68,9 @@ class BossSession:
     # ------------------------------------------------------------------
 
     def init(self, index: Union[InvertedIndex, str, Path],
-             config_file: Union[str, Path, None] = None) -> None:
+             config_file: Union[str, Path, None] = None,
+             storage: str = "auto",
+             trust_pickle: bool = True) -> None:
         """Load the index into the pool and configure the device.
 
         ``index`` is an index file path (the paper's ``indexFile``) or an
@@ -76,9 +78,17 @@ class BossSession:
         adds custom decompression programs (the paper's ``configFile``);
         the built-in programs for the five paper schemes are always
         registered.
+
+        ``storage`` selects the on-disk backend for a path argument
+        (see :func:`repro.index.loader.open_index`): ``auto`` serves
+        ``.bossx`` files zero-copy via mmap and falls back to the
+        pickle snapshot format otherwise. Pass ``trust_pickle=False``
+        when the path may come from an untrusted source — unpickling
+        executes code chosen by the file's author.
         """
         if isinstance(index, (str, Path)):
-            index = load_index(index)
+            index = open_index(index, storage=storage,
+                               trust_pickle=trust_pickle)
         from repro.live.segments import SegmentedIndex
 
         self._index = index

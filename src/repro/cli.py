@@ -48,7 +48,9 @@ from repro.baselines import IIUAccelerator, IIUConfig, LuceneConfig, LuceneEngin
 from repro.core import BossAccelerator, BossConfig
 from repro.errors import ReproError
 from repro.index import IndexBuilder
-from repro.index.io import load_index, save_index
+from repro.index.binaryio import save_index_binary
+from repro.index.io import save_index
+from repro.index.loader import STORAGE_MODES, open_index
 from repro.sim.timing import BossTimingModel, IIUTimingModel, LuceneTimingModel
 
 
@@ -70,9 +72,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="run the full analysis chain (lowercase, "
                             "stop words, S-stemming) instead of "
                             "whitespace tokenization")
+    build.add_argument("--format", choices=("binary", "pickle"),
+                       default="binary",
+                       help="output format (default: binary .bossx — "
+                            "parse-only, mmap-servable; pickle files "
+                            "need --trust-pickle to load)")
 
     info = sub.add_parser("info", help="describe an index file")
     info.add_argument("--index", required=True)
+    _add_storage_arguments(info)
 
     search = sub.add_parser("search", help="query an index file")
     search.add_argument("--index", required=True)
@@ -81,12 +89,14 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("-k", type=int, default=10)
     search.add_argument("--engine", choices=("boss", "iiu", "lucene"),
                         default="boss")
+    _add_storage_arguments(search)
 
     check = sub.add_parser("validate",
                            help="integrity-check an index file")
     check.add_argument("--index", required=True)
     check.add_argument("--fast", action="store_true",
                        help="structural checks only (skip score bounds)")
+    _add_storage_arguments(check)
 
     trace = sub.add_parser(
         "trace", help="per-stage profile of one query (observability)")
@@ -98,6 +108,7 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--engine", choices=("boss", "iiu"), default="boss")
     trace.add_argument("--json", action="store_true",
                        help="emit the full trace record as JSON")
+    _add_storage_arguments(trace)
     _add_fault_arguments(trace)
 
     metrics = sub.add_parser(
@@ -108,6 +119,7 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("-k", type=int, default=10)
     metrics.add_argument("--json", action="store_true",
                          help="emit the registry snapshot as JSON")
+    _add_storage_arguments(metrics)
 
     bench = sub.add_parser(
         "bench",
@@ -132,8 +144,15 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-fast-path", action="store_true",
                        help="use the per-value reference decoders "
                             "(pre-fast-path engine) for comparison")
+    bench.add_argument("--executor",
+                       choices=("reference", "fast", "columnar"),
+                       default=None,
+                       help="query executor (default: fast unless "
+                            "--no-fast-path; columnar = vectorized "
+                            "numpy kernels)")
     bench.add_argument("--json", action="store_true",
                        help="emit the reports as JSON")
+    _add_storage_arguments(bench)
     _add_fault_arguments(bench)
 
     serve = sub.add_parser(
@@ -174,6 +193,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="maintenance device model for --update-mix")
     serve.add_argument("--json", action="store_true",
                        help="emit the serving report as JSON")
+    _add_storage_arguments(serve)
     _add_fault_arguments(serve)
 
     ingest = sub.add_parser(
@@ -203,6 +223,29 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("demo", help="synthetic-corpus engine comparison")
     return parser
+
+
+def _add_storage_arguments(command) -> None:
+    """Index-loading flags shared by every command that takes --index.
+
+    Safe by default: pickle snapshots (which execute code on load) are
+    refused unless the user passes ``--trust-pickle``. Binary ``.bossx``
+    files are served zero-copy via mmap.
+    """
+    command.add_argument("--storage", choices=STORAGE_MODES,
+                         default="auto",
+                         help="index storage backend (auto sniffs the "
+                              "file: .bossx -> mmap, else pickle)")
+    command.add_argument("--trust-pickle", action="store_true",
+                         help="allow loading pickle index snapshots "
+                              "(unpickling can execute arbitrary code; "
+                              "only for files you built yourself)")
+
+
+def _load_cli_index(args):
+    """Open ``args.index`` honoring the storage/trust flags."""
+    return open_index(args.index, storage=args.storage,
+                      trust_pickle=args.trust_pickle)
 
 
 def _add_fault_arguments(command) -> None:
@@ -287,14 +330,18 @@ def _cmd_build(args) -> int:
             builder.add_document(tokens if tokens else ["__empty__"])
             count += 1
     index = builder.build()
-    save_index(index, args.output)
+    if args.format == "binary":
+        save_index_binary(index, args.output)
+    else:
+        save_index(index, args.output)
     print(f"indexed {count} documents, {index.num_terms} terms, "
-          f"{index.compressed_bytes} compressed bytes -> {args.output}")
+          f"{index.compressed_bytes} compressed bytes -> {args.output} "
+          f"({args.format})")
     return 0
 
 
 def _cmd_info(args) -> int:
-    index = load_index(args.index)
+    index = _load_cli_index(args)
     stats = index.stats
     print(f"documents:        {stats.num_docs}")
     print(f"terms:            {index.num_terms}")
@@ -313,7 +360,7 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_search(args) -> int:
-    index = load_index(args.index)
+    index = _load_cli_index(args)
     if args.engine == "boss":
         engine = BossAccelerator(index, BossConfig(k=args.k))
         model = BossTimingModel()
@@ -339,7 +386,7 @@ def _cmd_search(args) -> int:
 def _cmd_validate(args) -> int:
     from repro.index.validate import validate_index
 
-    index = load_index(args.index)
+    index = _load_cli_index(args)
     report = validate_index(index, check_scores=not args.fast)
     print(f"terms: {report.terms_checked}, blocks: "
           f"{report.blocks_checked}, postings: {report.postings_checked}")
@@ -365,7 +412,7 @@ def _cmd_trace(args) -> int:
         from repro.errors import ConfigurationError
 
         raise ConfigurationError("trace needs --index (or --shards)")
-    index = load_index(args.index)
+    index = _load_cli_index(args)
     if args.engine == "boss":
         from repro.api import BossSession
 
@@ -442,7 +489,7 @@ def _cmd_metrics(args) -> int:
     from repro.observability import RecordingObserver, render_metrics
     from repro.scm.pool import MemoryPool
 
-    index = load_index(args.index)
+    index = _load_cli_index(args)
     observer = RecordingObserver()
     MemoryPool().publish_metrics(observer.registry)
     session = BossSession(BossConfig(k=args.k), observer=observer)
@@ -466,7 +513,7 @@ def _cmd_bench(args) -> int:
     if args.shards:
         return _cmd_bench_cluster(args)
     if args.index:
-        index = load_index(args.index)
+        index = _load_cli_index(args)
         terms_by_df = sorted(
             index.terms,
             key=lambda t: index.posting_list(t).document_frequency,
@@ -486,7 +533,8 @@ def _cmd_bench(args) -> int:
                                             unique_queries=unique)
     ]
     engine = BossAccelerator(index, BossConfig(k=args.k),
-                             fast_path=not args.no_fast_path)
+                             fast_path=not args.no_fast_path,
+                             executor=args.executor)
     reports = []
     for _ in range(max(1, args.repeat)):
         batch = run_query_batch(engine, queries, k=args.k,
@@ -496,6 +544,7 @@ def _cmd_bench(args) -> int:
     if args.json:
         payload = {
             "fast_path": engine.fast_path,
+            "executor": engine.executor,
             "passes": [report.to_dict() for report in reports],
         }
         if cache is not None:
@@ -506,8 +555,8 @@ def _cmd_bench(args) -> int:
             }
         print(json.dumps(payload, indent=2))
         return 0
-    path = "fast" if engine.fast_path else "reference"
-    print(f"{len(queries)} queries ({unique} unique), {path} decode path, "
+    print(f"{len(queries)} queries ({unique} unique), "
+          f"{engine.executor} executor, "
           f"workers={reports[0].workers}")
     print(f"{'pass':<6}{'qps':>10}{'p50 (ms)':>10}{'p95 (ms)':>10}")
     for number, report in enumerate(reports, start=1):
@@ -641,7 +690,7 @@ def _cmd_serve(args) -> int:
         target, _sharded = _build_fault_cluster(args, args.k)
         vocab = [f"t{i}" for i in range(40)]
     elif args.index:
-        index = load_index(args.index)
+        index = _load_cli_index(args)
         target = BossAccelerator(index, BossConfig(k=args.k))
         vocab = sorted(
             index.terms,

@@ -19,11 +19,10 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 from repro.core.query import (
-    AndNode,
     QueryNode,
-    TermNode,
     flatten,
     parse_query,
+    prune_query_scored,
 )
 from repro.cluster.resilience import (
     STRICT_POLICY,
@@ -249,23 +248,18 @@ class SearchCluster:
 
 def _prune_for_shard(node: QueryNode,
                      index) -> Optional[QueryNode]:
-    """Drop query terms a shard does not hold.
+    """Drop query terms a shard does not hold, preserving score parity.
 
     A missing term contributes no postings: it disappears from unions
     and annihilates intersections — per shard, without touching the
     global query semantics (the other shards still see the full query).
+
+    Uses :func:`repro.core.query.prune_query_scored`, not the plain
+    prune: annihilating an AND branch must not drop the branch's
+    *present* terms from the shard's probe set, because the monolithic
+    engine scores every query term a matching document contains.
+    Under term-skewed sharding the naive prune under-scored documents
+    matched through surviving OR branches; the scored rewrite keeps
+    the merged cluster ranking identical to the monolith.
     """
-    if isinstance(node, TermNode):
-        return node if node.term in index else None
-    pruned = [_prune_for_shard(child, index) for child in node.children]
-    if isinstance(node, AndNode):
-        if any(child is None for child in pruned):
-            return None
-        kept = [c for c in pruned if c is not None]
-    else:
-        kept = [c for c in pruned if c is not None]
-        if not kept:
-            return None
-    if len(kept) == 1:
-        return kept[0]
-    return type(node)(tuple(kept))
+    return prune_query_scored(node, lambda term: term in index)

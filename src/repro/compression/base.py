@@ -15,6 +15,8 @@ from abc import ABC, abstractmethod
 from array import array
 from typing import Dict, Iterable, List, Sequence, Type
 
+import numpy as np
+
 from repro.errors import CompressionError
 
 
@@ -72,6 +74,24 @@ class Codec(ABC):
             raise CompressionError(
                 f"{self.name}: decoded value exceeds 32 bits"
             ) from None
+
+    def decode_block_columnar(self, data, count: int) -> np.ndarray:
+        """Columnar bulk decode: ``count`` values as a ``uint32`` vector.
+
+        Element-identical to :meth:`decode` (and :meth:`decode_block`) on
+        every valid payload, with :meth:`decode_block`'s error contract on
+        corrupt input — truncation and >32-bit fields raise
+        :class:`CompressionError`. Subclasses override this with
+        vectorized numpy kernels (whole-frame bit gathers, terminator
+        scans, selector-table scatters); the default wraps the bulk
+        decoder. ``data`` may be any byte buffer — ``bytes`` or a
+        zero-copy ``memoryview`` over an mmapped index file.
+
+        The returned array is freshly allocated and writable.
+        """
+        if not isinstance(data, bytes):
+            data = bytes(data)
+        return np.array(self.decode_block(data, count), dtype=np.uint32)
 
     # ------------------------------------------------------------------
     # Shared helpers

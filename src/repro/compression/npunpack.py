@@ -1,0 +1,55 @@
+"""Shared numpy primitives for the columnar decode kernels.
+
+The fixed-width codecs (BP, the PFD frame) pack ``count`` fields of
+``width`` bits LSB-first into a contiguous byte frame. The columnar
+kernels extract all fields at once with a gather: for field ``i`` at bit
+offset ``i * width``, read the 8 bytes starting at ``offset // 8`` as one
+little-endian ``uint64`` word, shift right by ``offset % 8`` and mask.
+A field is at most 32 bits wide and the sub-byte shift at most 7 bits,
+so the 64-bit window always covers the whole field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+__all__ = ["unpack_lsb_frame", "as_u8"]
+
+
+def as_u8(data, offset: int = 0, length: int = None) -> np.ndarray:
+    """A uint8 view of any byte buffer (bytes/memoryview/mmap slice).
+
+    Zero-copy: the returned array aliases ``data``'s buffer.
+    """
+    if length is None:
+        length = len(data) - offset
+    return np.frombuffer(data, dtype=np.uint8, count=length, offset=offset)
+
+
+def unpack_lsb_frame(frame: np.ndarray, width: int,
+                     count: int) -> np.ndarray:
+    """Extract ``count`` LSB-first ``width``-bit fields from ``frame``.
+
+    ``frame`` is the packed payload as a uint8 vector of at least
+    ``ceil(count * width / 8)`` bytes. Returns a fresh writable
+    ``uint64`` vector (callers range-check / downcast as their codec's
+    error contract requires).
+    """
+    if width == 0 or count == 0:
+        return np.zeros(count, dtype=np.uint64)
+    bit_offsets = np.arange(count, dtype=np.int64) * width
+    byte_offsets = bit_offsets >> 3
+    shifts = (bit_offsets & 7).astype(np.uint64)
+    # Pad so the 8-byte window of the last field never reads past the
+    # end, then gather one aligned little-endian word per field.
+    padded = np.zeros(len(frame) + 8, dtype=np.uint8)
+    padded[: len(frame)] = frame
+    words = (
+        sliding_window_view(padded, 8)[byte_offsets]
+        .copy()
+        .view("<u8")
+        .reshape(-1)
+    )
+    mask = np.uint64((1 << width) - 1)
+    return (words >> shifts) & mask

@@ -19,7 +19,10 @@ from __future__ import annotations
 from array import array
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.compression.base import DEFAULT_REGISTRY, Codec
+from repro.compression.npunpack import as_u8
 from repro.errors import CompressionError
 
 #: Byte-translation table clearing the terminator flag: the bulk decoder
@@ -106,3 +109,37 @@ class VarByteCodec(Codec):
             f"VB: {detail}: stream ended after {produced} of "
             f"{count} values"
         )
+
+    def decode_block_columnar(self, data, count: int) -> np.ndarray:
+        if count <= 0:
+            return super().decode_block_columnar(data, count)
+        raw = as_u8(data)
+        # Terminator scan: every byte with the MSB set ends a value.
+        ends = np.flatnonzero(raw & 0x80)
+        if len(ends) < count:
+            produced = len(ends)
+            used = int(ends[-1]) + 1 if produced else 0
+            detail = ("truncated input (unterminated value)"
+                      if len(raw) > used else "truncated input")
+            raise CompressionError(
+                f"VB: {detail}: stream ended after {produced} of "
+                f"{count} values"
+            )
+        ends = ends[:count]
+        n_used = int(ends[-1]) + 1
+        payload = (raw[:n_used] & 0x7F).astype(np.uint64)
+        # Each byte contributes payload << (7 * distance-to-terminator).
+        positions = np.arange(n_used, dtype=np.int64)
+        dist = ends[np.searchsorted(ends, positions)] - positions
+        # A non-zero group 9+ bytes before its terminator contributes at
+        # least 2**63 — past uint64 territory and far past 32 bits.
+        if np.any((payload != 0) & (dist >= 9)):
+            raise CompressionError("VB: decoded value exceeds 32 bits")
+        contrib = payload << (np.uint64(7) * dist.astype(np.uint64))
+        starts = np.empty(count, dtype=np.int64)
+        starts[0] = 0
+        starts[1:] = ends[:-1] + 1
+        values = np.add.reduceat(contrib, starts)
+        if int(values.max()) > 0xFFFFFFFF:
+            raise CompressionError("VB: decoded value exceeds 32 bits")
+        return values.astype(np.uint32)

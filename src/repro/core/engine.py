@@ -31,6 +31,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence, Tuple, Union
 
+from repro.core.columnar import run_union_columnar, score_matches_columnar
 from repro.core.cursor import SKIP_ET, SKIP_OVERLAP, ListCursor
 from repro.core.fastexec import (
     run_grouped_intersection_fast,
@@ -66,6 +67,11 @@ RESULT_ENTRY_BYTES = 8
 
 #: Terms a single BOSS core processes natively (Section IV-B).
 TERMS_PER_CORE = 4
+
+#: Executor implementations the engine can route queries through. All
+#: three are pinned bit-identical by the equivalence suite; they differ
+#: only in host-side wall clock.
+EXECUTORS = ("reference", "fast", "columnar")
 
 
 @dataclass(frozen=True)
@@ -103,19 +109,35 @@ class BossAccelerator:
                  config: Optional[BossConfig] = None,
                  observer: Observer = NULL_OBSERVER,
                  fast_path: bool = True,
-                 decoded_cache=None) -> None:
+                 decoded_cache=None,
+                 executor: Optional[str] = None) -> None:
         self._index = index
         self._config = BossConfig() if config is None else config
         self._observer = observer
         #: When set (a list), every block payload fetch is appended as
         #: (term, block_index, bytes) — input to the cache simulator.
         self.fetch_log = None
+        #: Which executor implementation runs queries. ``None`` derives
+        #: it from ``fast_path`` (the pre-columnar API); an explicit
+        #: name overrides ``fast_path`` entirely.
+        if executor is None:
+            executor = "fast" if fast_path else "reference"
+        elif executor not in EXECUTORS:
+            raise QueryError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        self._executor = executor
         #: Bulk array decode vs the per-value reference decode path.
         #: ``fast_path=False`` reproduces the pre-fast-path engine
         #: exactly (reference decoders, no decoded-block cache) — the
         #: baseline side of the wall-clock benchmark and of the
-        #: modeled-metrics equivalence tests.
+        #: modeled-metrics equivalence tests. The columnar executor
+        #: rides on the bulk decode path.
+        fast_path = executor != "reference"
         self._fast_path = fast_path
+        #: Cross-query block-score cache for the columnar executor
+        #: (block scores depend only on the index snapshot).
+        self._columnar_scores = {} if executor == "columnar" else None
         # Host-side decoded-block cache: None -> default-capacity cache
         # when the fast path is on; an int -> that capacity in blocks
         # (0 disables); a DecodedBlockCache -> shared instance (the
@@ -147,6 +169,11 @@ class BossAccelerator:
     @property
     def fast_path(self) -> bool:
         return self._fast_path
+
+    @property
+    def executor(self) -> str:
+        """The executor implementation this engine routes queries to."""
+        return self._executor
 
     @property
     def decoded_cache(self):
@@ -229,6 +256,18 @@ class BossAccelerator:
         cursors = [
             self._cursor(t, work, traffic, SKIP_ET) for t in terms
         ]
+        if self._executor == "columnar":
+            run_union_columnar(
+                cursors,
+                self._index.scorer,
+                topk,
+                work,
+                et_block=self._config.et_block,
+                et_wand=self._config.et_wand,
+                interval_blocks=self._config.et_interval_blocks,
+                score_cache=self._columnar_scores,
+            )
+            return
         runner = run_union_fast if self._fast_path else run_union
         runner(
             cursors,
@@ -307,6 +346,9 @@ class BossAccelerator:
     def _score_matches(self, matches: Sequence[Tuple[int, Dict[str, int]]],
                        topk: TopKQueue, work: WorkCounters) -> None:
         """Scoring + top-k modules for set-operation outputs."""
+        if self._executor == "columnar":
+            score_matches_columnar(matches, self._index, topk, work)
+            return
         scorer = self._index.scorer
         for doc, tfs in matches:
             score = 0.0

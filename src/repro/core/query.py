@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import List, Tuple, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 from repro.errors import QueryError
 
@@ -174,6 +174,62 @@ def flatten(node: QueryNode) -> QueryNode:
     if len(flat_children) == 1:
         return flat_children[0]
     return type(node)(tuple(flat_children))
+
+
+def prune_query(node: QueryNode,
+                present: Callable[[str], bool]) -> Optional[QueryNode]:
+    """Restrict a query to terms one index partition actually holds.
+
+    The algebra shared by the cluster root's per-shard dissection and
+    the live index's per-segment execution: a missing term annihilates
+    an AND (its intersection is empty there) and drops out of an OR.
+    Returns ``None`` when nothing in the partition can match.
+    """
+    if isinstance(node, TermNode):
+        return node if present(node.term) else None
+    pruned = [prune_query(child, present) for child in node.children]
+    if isinstance(node, AndNode):
+        if any(child is None for child in pruned):
+            return None
+        return AndNode(tuple(pruned))
+    kept = [child for child in pruned if child is not None]
+    if not kept:
+        return None
+    if len(kept) == 1:
+        return kept[0]
+    return OrNode(tuple(kept))
+
+
+def prune_query_scored(node: QueryNode,
+                       present: Callable[[str], bool]
+                       ) -> Optional[QueryNode]:
+    """Match-preserving prune that keeps score parity with a monolith.
+
+    :func:`prune_query` alone is exact for *matching* but not for
+    *scoring*: the engine's general path scores every query term a
+    matching document contains, including terms of branches the
+    document does not satisfy. Annihilating an AND branch because one
+    of its terms is absent from this partition would also drop the
+    branch's *present* terms from that probe set, under-scoring
+    documents matched through other branches. So when pruning discards
+    present terms, re-attach them in a branch that cannot add matches —
+    ``OR(pruned, AND(extras..., pruned))`` has exactly ``match(pruned)``
+    but carries every present query term for the scoring probes.
+    """
+    pruned = prune_query(node, present)
+    if pruned is None:
+        return None
+    kept = set(pruned.terms())
+    extras = sorted({
+        term for term in node.terms()
+        if term not in kept and present(term)
+    })
+    if not extras:
+        return pruned
+    score_branch = AndNode(
+        tuple(TermNode(term) for term in extras) + (pruned,)
+    )
+    return OrNode((pruned, score_branch))
 
 
 def push_intersections_down(node: QueryNode) -> QueryNode:

@@ -122,13 +122,18 @@ def read_term_section(data: bytes, offset: int,
     Replays the recorded region size through ``layout`` so the
     allocator's internal bookkeeping stays consistent with the recorded
     addresses.
+
+    ``data`` is any byte buffer: block payloads are sliced from it
+    without conversion, so a ``memoryview`` input (the mmap storage
+    path) yields zero-copy payload views while ``bytes`` input yields
+    ordinary ``bytes`` payloads.
     """
     double = struct.Struct("<d")
     pair = struct.Struct("<dd")
     term_bytes, offset = _read_bytes(data, offset)
-    term = term_bytes.decode("utf-8")
+    term = bytes(term_bytes).decode("utf-8")
     scheme_bytes, offset = _read_bytes(data, offset)
-    scheme = scheme_bytes.decode("ascii")
+    scheme = bytes(scheme_bytes).decode("ascii")
     df, offset = _read_varint(data, offset)
     if offset + pair.size > len(data):
         raise InvertedIndexError("truncated term record")
@@ -197,9 +202,20 @@ def save_index_binary(index: InvertedIndex,
 
 def load_index_binary(path: Union[str, Path]) -> InvertedIndex:
     """Read a ``.bossx`` file back into an :class:`InvertedIndex`."""
-    data = Path(path).read_bytes()
+    return parse_index_buffer(Path(path).read_bytes(), source=str(path))
+
+
+def parse_index_buffer(data, source: str = "<buffer>") -> InvertedIndex:
+    """Parse a complete ``.bossx`` image from any byte buffer.
+
+    ``bytes`` input (the :func:`load_index_binary` path) produces
+    ordinary ``bytes`` block payloads. A ``memoryview`` input — the
+    :class:`repro.index.mmapio.MmapIndexStorage` path — produces
+    payloads that are zero-copy views into the buffer, which the
+    columnar decode kernels consume directly.
+    """
     if data[:len(MAGIC)] != MAGIC:
-        raise InvertedIndexError(f"{path} is not a BOSSIDX1 file")
+        raise InvertedIndexError(f"{source} is not a BOSSIDX1 file")
     offset = len(MAGIC)
     header_struct = struct.Struct("<IdQdd")
     if offset + header_struct.size > len(data):

@@ -27,6 +27,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 
@@ -77,6 +79,9 @@ class BM25Scorer:
             k1 * (1.0 - b + b * length / self._avgdl)
             for length in self._doc_lengths
         ]
+        # Columnar view of the normalizer table, built lazily by
+        # :attr:`normalizer_array` (the array scorer's gather source).
+        self._normalizer_nd = None
 
     @property
     def params(self) -> BM25Parameters:
@@ -115,6 +120,35 @@ class BM25Scorer:
     def length_normalizer(self, doc_id: int) -> float:
         """The pre-computed per-document metadata value (4 B/doc)."""
         return self._normalizers[doc_id]
+
+    @property
+    def normalizer_array(self) -> np.ndarray:
+        """The normalizer table as a float64 vector (built lazily).
+
+        Scorers are immutable once constructed (live indexes snapshot a
+        fresh scorer per version), so the cached array can never go
+        stale; a length check guards subclasses that rebuild
+        ``_normalizers`` in place.
+        """
+        cached = getattr(self, "_normalizer_nd", None)
+        if cached is None or len(cached) != len(self._normalizers):
+            cached = np.asarray(self._normalizers, dtype=np.float64)
+            self._normalizer_nd = cached
+        return cached
+
+    def score_array(self, idf: float, tfs: np.ndarray,
+                    doc_ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`term_score` over parallel tf/docID vectors.
+
+        Element ``i`` is bit-identical to
+        ``term_score(idf, tfs[i], doc_ids[i])``: the elementwise float64
+        operations are applied in exactly the scalar path's association
+        order ``idf * (tf * (k1 + 1)) / (tf + normalizer)``, so IEEE-754
+        rounding matches bit for bit.
+        """
+        norms = self.normalizer_array[doc_ids]
+        tfs_f = np.asarray(tfs, dtype=np.float64)
+        return idf * (tfs_f * (self._params.k1 + 1.0)) / (tfs_f + norms)
 
     def term_score(self, idf: float, tf: int, doc_id: int) -> float:
         """Runtime term score: one division, one multiply, one add.

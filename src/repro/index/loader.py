@@ -1,0 +1,79 @@
+"""Front door for opening index files of either on-disk format.
+
+Two formats exist side by side:
+
+* ``.bossx`` (:mod:`repro.index.binaryio`) — structural binary, parsed
+  without executing anything, and servable zero-copy through
+  :class:`repro.index.mmapio.MmapIndexStorage`. This is the documented
+  default for anything that leaves your machine.
+* pickle snapshots (:mod:`repro.index.io`) — convenient, but loading
+  one executes code chosen by whoever wrote the file. Only ever open
+  pickles you produced yourself.
+
+:func:`open_index` sniffs the leading magic and dispatches. Callers
+that accept untrusted paths (the CLI) pass ``trust_pickle=False`` so a
+pickle file is refused unless the user explicitly opts in with
+``--trust-pickle``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.errors import InvertedIndexError
+from repro.index.binaryio import MAGIC, load_index_binary
+from repro.index.index import InvertedIndex
+from repro.index.io import load_index
+from repro.index.mmapio import load_index_mmap
+
+#: Accepted ``storage`` selectors for :func:`open_index`.
+STORAGE_MODES = ("auto", "mmap", "binary", "pickle")
+
+
+def sniff_format(path: Union[str, Path]) -> str:
+    """``"bossx"`` if the file leads with the binary magic, else
+    ``"pickle"`` (the pickle snapshot has no fixed leading bytes)."""
+    with open(path, "rb") as handle:
+        head = handle.read(len(MAGIC))
+    return "bossx" if head == MAGIC else "pickle"
+
+
+def open_index(path: Union[str, Path], storage: str = "auto",
+               trust_pickle: bool = True) -> InvertedIndex:
+    """Load an index file, choosing the storage backend.
+
+    ``storage`` is one of :data:`STORAGE_MODES`:
+
+    * ``auto`` — sniff the magic; ``.bossx`` files are served via mmap
+      (zero-copy), anything else is treated as a pickle snapshot.
+    * ``mmap`` — require ``.bossx``, serve blocks as ``memoryview``
+      slices of the mapping.
+    * ``binary`` — require ``.bossx``, read fully into memory
+      (payloads are independent ``bytes``; use when the file may be
+      replaced or truncated while the index is live).
+    * ``pickle`` — the :mod:`repro.index.io` snapshot format.
+
+    ``trust_pickle=False`` refuses the pickle path outright — loading
+    a pickle executes code chosen by the file's author, so callers in
+    untrusted contexts must make the user opt in explicitly.
+    """
+    if storage not in STORAGE_MODES:
+        raise InvertedIndexError(
+            f"unknown storage {storage!r}; expected one of {STORAGE_MODES}"
+        )
+    if storage == "auto":
+        storage = "mmap" if sniff_format(path) == "bossx" else "pickle"
+    if storage == "pickle":
+        if not trust_pickle:
+            raise InvertedIndexError(
+                f"{path} is a pickle snapshot; loading it can execute "
+                f"arbitrary code. Pass --trust-pickle only for files "
+                f"you built yourself, or rebuild with the binary "
+                f"format (repro-boss build --format binary), which "
+                f"needs no trust to open."
+            )
+        return load_index(path)
+    if storage == "binary":
+        return load_index_binary(path)
+    return load_index_mmap(path)

@@ -160,6 +160,88 @@ class TestPruning:
         assert len(merged.hits) == 1
 
 
+def _skewed_documents(num_docs=400, seed=11):
+    """Common terms everywhere; rare terms pinned to docID ranges.
+
+    ``rare0`` appears only in the first hundred documents and ``rare1``
+    only in the last hundred, so contiguous-interval sharding leaves
+    whole shards without them — the configuration where pruning an
+    annihilated AND branch used to drop its *present* terms from the
+    shard's probe set and under-score union matches.
+    """
+    rng = random.Random(seed)
+    common = [f"c{i}" for i in range(8)]
+    docs = []
+    for i in range(num_docs):
+        tokens = [rng.choice(common) for _ in range(rng.randrange(4, 14))]
+        if i < 100 and rng.random() < 0.5:
+            tokens.append("rare0")
+        if i >= num_docs - 100 and rng.random() < 0.5:
+            tokens.append("rare1")
+        docs.append(tokens)
+    return docs
+
+
+class TestSkewedShardScoreParity:
+    """Mixed AND/OR differentials where shards lack whole terms."""
+
+    MIXED_QUERIES = [
+        '"c0" OR ("c1" AND "rare0")',
+        '"c2" OR ("rare1" AND "c3")',
+        '("c0" AND "c1") OR ("rare0" AND "rare1")',
+        '"c0" AND ("c1" OR "rare0")',
+        '("rare0" OR "rare1") AND "c4"',
+        '"rare0" OR "rare1"',
+        '("c5" AND "rare0") OR ("c6" AND "rare1") OR "c7"',
+    ]
+
+    @pytest.fixture(scope="class")
+    def skewed(self):
+        docs = _skewed_documents()
+        builder = IndexBuilder()
+        for doc in docs:
+            builder.add_document(doc)
+        mono = BossAccelerator(builder.build(), BossConfig(k=20))
+        sharded = shard_documents(docs, num_shards=4)
+        cluster = SearchCluster([
+            BossAccelerator(index, BossConfig(k=20))
+            for index in sharded.indexes
+        ])
+        return mono, cluster
+
+    @pytest.mark.parametrize("expr", MIXED_QUERIES)
+    def test_cluster_equals_monolithic(self, skewed, expr):
+        mono, cluster = skewed
+        merged = cluster.search(expr, k=20)
+        reference = mono.search(expr, k=20)
+        assert [
+            (h.doc_id, round(h.score, 9)) for h in merged.hits
+        ] == [
+            (h.doc_id, round(h.score, 9)) for h in reference.hits
+        ]
+
+    def test_annihilated_and_keeps_present_terms(self):
+        # One shard holds c0/c1 but not "rare": the AND branch cannot
+        # match there, yet c1 must stay in the probe set so documents
+        # matched through the OR's other branch score all their terms.
+        builder = IndexBuilder()
+        builder.add_document(["c0", "c1"])
+        index = builder.build()
+        node = parse_query('"c0" OR ("c1" AND "rare")')
+        pruned = _prune_for_shard(node, index)
+        assert pruned is not None
+        assert set(pruned.terms()) == {"c0", "c1"}
+
+    def test_scored_rewrite_adds_no_matches(self, skewed):
+        mono, cluster = skewed
+        for expr in self.MIXED_QUERIES:
+            merged = cluster.search(expr, k=400)
+            reference = mono.search(expr, k=400)
+            assert {h.doc_id for h in merged.hits} == {
+                h.doc_id for h in reference.hits
+            }
+
+
 class TestValidation:
     def test_empty_cluster_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -1,0 +1,146 @@
+"""Columnar executor equivalence: bit-identical to the other engines.
+
+The columnar executor (``executor="columnar"``) vectorizes decode and
+scoring with numpy and bulk-counts leader runs, but it is a wall-clock
+optimization only: rankings (to the last float bit), every
+:class:`WorkCounters` field, per-bucket traffic, and full observability
+traces must match the reference and fast executors exactly — across
+codecs, ET ablations, k values, and warm/cold decoded caches.
+"""
+
+import pytest
+
+from repro.core import BossAccelerator, BossConfig
+from repro.core.engine import EXECUTORS
+from repro.errors import QueryError
+from repro.observability import RecordingObserver
+from tests.conftest import build_random_index
+from tests.test_differential import _random_queries
+from tests.test_fastpath_equivalence import _assert_results_identical
+
+
+class TestExecutorSelection:
+    def test_known_executors(self):
+        assert EXECUTORS == ("reference", "fast", "columnar")
+        index = build_random_index(num_docs=100, vocab_size=8, seed=1)
+        for name in EXECUTORS:
+            engine = BossAccelerator(index, BossConfig(k=5), executor=name)
+            assert engine.executor == name
+
+    def test_executor_derived_from_fast_path(self):
+        index = build_random_index(num_docs=100, vocab_size=8, seed=1)
+        assert BossAccelerator(index).executor == "fast"
+        assert BossAccelerator(index, fast_path=False).executor == \
+            "reference"
+        # An explicit executor overrides the fast_path flag entirely.
+        engine = BossAccelerator(index, fast_path=False,
+                                 executor="columnar")
+        assert engine.executor == "columnar"
+        assert engine.fast_path
+
+    def test_unknown_executor_rejected(self):
+        index = build_random_index(num_docs=100, vocab_size=8, seed=1)
+        with pytest.raises(QueryError):
+            BossAccelerator(index, executor="simd")
+
+
+@pytest.mark.parametrize("seed", [2, 41])
+def test_columnar_modeled_metrics_bit_identical(seed):
+    index = build_random_index(num_docs=900, vocab_size=28, seed=seed)
+    queries = _random_queries(sorted(index), seed * 11, count=14)
+    columnar = BossAccelerator(index, BossConfig(k=10),
+                               executor="columnar")
+    reference = BossAccelerator(index, BossConfig(k=10),
+                                executor="reference")
+    # Two passes: pass 2 runs entirely against the warm decoded cache
+    # and the columnar executor's cross-query block-score cache.
+    for pass_number in (1, 2):
+        for expression in queries:
+            _assert_results_identical(
+                columnar.search(expression), reference.search(expression),
+                (pass_number, expression),
+            )
+    assert columnar.decoded_cache.hits > 0, "warm pass never hit the cache"
+
+
+@pytest.mark.parametrize("scheme", ["BP", "VB", "S8b", "S16", "OptPFD",
+                                    "PFD", "GVB"])
+def test_columnar_equivalence_per_codec(scheme):
+    index = build_random_index(num_docs=600, vocab_size=20, seed=77,
+                               schemes=[scheme])
+    queries = _random_queries(sorted(index), 19, count=8)
+    columnar = BossAccelerator(index, BossConfig(k=10),
+                               executor="columnar")
+    fast = BossAccelerator(index, BossConfig(k=10), executor="fast")
+    for expression in queries:
+        _assert_results_identical(
+            columnar.search(expression), fast.search(expression),
+            (scheme, expression),
+        )
+
+
+def _ablation_configs():
+    base = BossConfig(k=10)
+    return {
+        "default": base,
+        "exhaustive": base.exhaustive(),
+        "block_only": base.block_only(),
+        "wand_only": BossConfig(k=10, et_block=False, et_wand=True),
+        "interval3": BossConfig(k=10, et_interval_blocks=3),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(_ablation_configs()))
+def test_columnar_equivalence_under_et_ablations(name):
+    """The leader-run bulk path only engages under the default flags;
+    every ablation must fall back to the general loop with identical
+    modeled output."""
+    config = _ablation_configs()[name]
+    index = build_random_index(num_docs=700, vocab_size=22, seed=5)
+    queries = _random_queries(sorted(index), 23, count=10)
+    columnar = BossAccelerator(index, config, executor="columnar")
+    reference = BossAccelerator(index, config, executor="reference")
+    for expression in queries:
+        _assert_results_identical(
+            columnar.search(expression), reference.search(expression),
+            (name, expression),
+        )
+
+
+@pytest.mark.parametrize("k", [1, 3, 50])
+def test_columnar_equivalence_across_k(k):
+    index = build_random_index(num_docs=800, vocab_size=24, seed=9)
+    queries = _random_queries(sorted(index), 31, count=10)
+    columnar = BossAccelerator(index, BossConfig(k=k),
+                               executor="columnar")
+    reference = BossAccelerator(index, BossConfig(k=k),
+                                executor="reference")
+    for expression in queries:
+        _assert_results_identical(
+            columnar.search(expression, k=k),
+            reference.search(expression, k=k),
+            (k, expression),
+        )
+
+
+def test_traces_bit_identical_columnar_vs_fast():
+    index = build_random_index(num_docs=800, vocab_size=25, seed=13)
+    queries = _random_queries(sorted(index), 29, count=10)
+
+    columnar_observer = RecordingObserver()
+    fast_observer = RecordingObserver()
+    columnar = BossAccelerator(index, BossConfig(k=10),
+                               observer=columnar_observer,
+                               executor="columnar")
+    fast = BossAccelerator(index, BossConfig(k=10),
+                           observer=fast_observer, executor="fast")
+    for _ in range(2):  # second pass exercises the warm caches
+        for expression in queries:
+            columnar.search(expression)
+            fast.search(expression)
+    assert len(columnar_observer.traces) == len(fast_observer.traces)
+    for columnar_trace, fast_trace in zip(columnar_observer.traces,
+                                          fast_observer.traces):
+        assert columnar_trace.spans == fast_trace.spans
+        assert columnar_trace.traffic == fast_trace.traffic
+        assert columnar_trace.to_dict() == fast_trace.to_dict()
