@@ -30,14 +30,28 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Iterable, Tuple
+from typing import Iterable, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.scm.device import DDR4_4CH, OPTANE_NODE_4CH, MemoryDeviceModel
 from repro.scm.traffic import AccessPattern
 
-#: One fetch-trace entry: (term, block_index, payload_bytes).
-FetchRecord = Tuple[str, int, int]
+#: One fetch-trace entry: (term, block_index, payload_bytes, pattern).
+#: ``pattern`` is the engine-observed :class:`AccessPattern` of the
+#: fetch — sequential only when the block continued the cursor's
+#: previous fetched block; a metadata-guided skip landing is random.
+#: Legacy three-field records (no pattern) are accepted by the replay
+#: helpers and treated as sequential walks.
+FetchRecord = Tuple[str, int, int, AccessPattern]
+
+
+def _unpack_record(record) -> Tuple[str, int, int, AccessPattern]:
+    """Normalize a fetch record; legacy 3-tuples default to sequential."""
+    if len(record) >= 4:
+        term, block_index, size, pattern = record[:4]
+        return term, block_index, size, pattern
+    term, block_index, size = record
+    return term, block_index, size, AccessPattern.SEQUENTIAL
 
 
 class LRUBlockCache:
@@ -195,6 +209,13 @@ class CacheReport:
     dram_bytes: int
     #: Bytes that still went to SCM (misses).
     scm_bytes: int
+    #: Miss bytes that stayed part of an unbroken sequential run — the
+    #: record was engine-sequential *and* the immediately preceding
+    #: miss was the same term's previous block (a hit punched out of
+    #: the middle of a run restarts it: the device seeks again).
+    scm_seq_bytes: int = 0
+    #: Miss bytes charged at the Table I random-read rate.
+    scm_rand_bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -206,22 +227,49 @@ class CacheReport:
         total = self.dram_bytes + self.scm_bytes
         return self.dram_bytes / total if total else 0.0
 
+    @property
+    def scm_random_fraction(self) -> float:
+        """Share of SCM (miss) bytes paying the random-read rate."""
+        return self.scm_rand_bytes / self.scm_bytes if self.scm_bytes else 0.0
+
 
 class CacheSimulator:
-    """Replays fetch traces through an LRU block cache."""
+    """Replays fetch traces through an LRU block cache.
+
+    Misses are charged at their *true* access pattern: a miss continues
+    a sequential SCM run only when the engine observed the fetch as
+    sequential and the device's previous miss was the same term's
+    previous block. Everything else — skip landings, list starts, runs
+    broken by interleaved hits or other terms — pays the random rate.
+    """
 
     def __init__(self, capacity_bytes: int, observer=None) -> None:
         self._cache = LRUBlockCache(capacity_bytes, observer=observer)
         self._dram_bytes = 0
-        self._scm_bytes = 0
+        self._scm_seq_bytes = 0
+        self._scm_rand_bytes = 0
+        #: (term, block_index) of the immediately preceding miss.
+        self._last_miss: Optional[Tuple[str, int]] = None
 
     def replay(self, fetch_log: Iterable[FetchRecord]) -> None:
         """Feed one query's fetch records through the cache."""
-        for term, block_index, size in fetch_log:
+        for record in fetch_log:
+            term, block_index, size, pattern = _unpack_record(record)
             if self._cache.access(term, block_index, size):
+                # Served from DRAM: the SCM stream (if any) is
+                # interrupted, so a later miss restarts its run.
                 self._dram_bytes += size
+                self._last_miss = None
+                continue
+            sequential = (
+                pattern is AccessPattern.SEQUENTIAL
+                and self._last_miss == (term, block_index - 1)
+            )
+            if sequential:
+                self._scm_seq_bytes += size
             else:
-                self._scm_bytes += size
+                self._scm_rand_bytes += size
+            self._last_miss = (term, block_index)
 
     def report(self) -> CacheReport:
         return CacheReport(
@@ -229,8 +277,31 @@ class CacheSimulator:
             hits=self._cache.hits,
             misses=self._cache.misses,
             dram_bytes=self._dram_bytes,
-            scm_bytes=self._scm_bytes,
+            scm_bytes=self._scm_seq_bytes + self._scm_rand_bytes,
+            scm_seq_bytes=self._scm_seq_bytes,
+            scm_rand_bytes=self._scm_rand_bytes,
         )
+
+
+def uncached_memory_seconds(fetch_log: Iterable[FetchRecord],
+                            scm: MemoryDeviceModel = OPTANE_NODE_4CH,
+                            ) -> float:
+    """Block-fetch service time with no cache tier at all.
+
+    Every record goes to SCM at its engine-observed pattern — the
+    baseline the cache/planner studies compare against. The historical
+    model charged all of it sequential, hiding the Table I 4x
+    sequential/random asymmetry that skip-heavy query plans actually pay.
+    """
+    seq = rand = 0
+    for record in fetch_log:
+        _term, _index, size, pattern = _unpack_record(record)
+        if pattern is AccessPattern.SEQUENTIAL:
+            seq += size
+        else:
+            rand += size
+    return (scm.read_time(seq, AccessPattern.SEQUENTIAL)
+            + scm.read_time(rand, AccessPattern.RANDOM))
 
 
 def cached_memory_seconds(report: CacheReport,
@@ -238,10 +309,22 @@ def cached_memory_seconds(report: CacheReport,
                           dram: MemoryDeviceModel = DDR4_4CH) -> float:
     """Block-fetch service time with the cache tier in place.
 
-    Hits stream from the DRAM tier, misses from SCM; both sides are
-    sequential block reads (the cache does not change access order).
+    Hits are scattered single-block DRAM lookups (random at DRAM's mild
+    penalty); misses are charged at the pattern the replay actually
+    observed — only unbroken sequential runs earn the sequential SCM
+    rate, everything else pays the Table I random rate. Reports from
+    older callers that never split the miss bytes fall back to charging
+    them all sequential (the pre-fix behavior).
     """
+    if report.scm_seq_bytes or report.scm_rand_bytes:
+        scm_seconds = (
+            scm.read_time(report.scm_seq_bytes, AccessPattern.SEQUENTIAL)
+            + scm.read_time(report.scm_rand_bytes, AccessPattern.RANDOM)
+        )
+    else:
+        scm_seconds = scm.read_time(report.scm_bytes,
+                                    AccessPattern.SEQUENTIAL)
     return (
-        dram.read_time(report.dram_bytes, AccessPattern.SEQUENTIAL)
-        + scm.read_time(report.scm_bytes, AccessPattern.SEQUENTIAL)
+        dram.read_time(report.dram_bytes, AccessPattern.RANDOM)
+        + scm_seconds
     )

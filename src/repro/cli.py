@@ -191,6 +191,26 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--device", choices=("scm", "dram"),
                        default="scm",
                        help="maintenance device model for --update-mix")
+    serve.add_argument("--planner", action="store_true",
+                       help="serve through the global I/O planner: "
+                            "windowed cross-query block coalescing, a "
+                            "shared DRAM tier, and per-tenant quotas "
+                            "(see docs/io_planner.md)")
+    serve.add_argument("--no-planning", action="store_true",
+                       help="with --planner: keep the windowed loop "
+                            "but disable dedup/tier/coalescing (the "
+                            "planner-off baseline)")
+    serve.add_argument("--plan-window", type=float, default=2.0,
+                       help="planning window in milliseconds "
+                            "(default 2.0)")
+    serve.add_argument("--dram-mb", type=float, default=64.0,
+                       help="shared DRAM tier capacity in MiB "
+                            "(0 disables the tier)")
+    serve.add_argument("--tenants", default=None,
+                       help="comma-separated tenant quotas as "
+                            "NAME=BYTES_PER_WINDOW (e.g. "
+                            "'web=65536,batch=16384'); requests are "
+                            "assigned round-robin")
     serve.add_argument("--json", action="store_true",
                        help="emit the serving report as JSON")
     _add_storage_arguments(serve)
@@ -681,6 +701,10 @@ def _cmd_serve(args) -> int:
     from repro.serving import QueryServer, ServingConfig, zipf_workload
 
     if args.update_mix:
+        if args.planner:
+            raise ConfigurationError(
+                "--planner does not serve --update-mix workloads yet"
+            )
         return _serve_live(args)
     if args.shards:
         if args.index:
@@ -703,6 +727,9 @@ def _cmd_serve(args) -> int:
         corpus = make_corpus(args.preset, scale=args.scale)
         target = BossAccelerator(corpus.index, BossConfig(k=args.k))
         vocab = corpus.terms_by_df()
+
+    if args.planner:
+        return _serve_planned(args, target, vocab)
 
     config = ServingConfig(
         workers=args.workers,
@@ -746,6 +773,103 @@ def _cmd_serve(args) -> int:
           f"p99={report.p99_latency_seconds * 1e3:.2f}")
     print(f"queue depth: mean={report.mean_queue_depth:.2f} "
           f"max={report.max_queue_depth}")
+    return 0
+
+
+def _parse_tenants(spec: str, window_seconds: float):
+    """Parse ``--tenants`` NAME=BYTES_PER_WINDOW pairs."""
+    from repro.errors import ConfigurationError
+    from repro.ioplanner import TenantSpec
+
+    tenants = []
+    for chunk in spec.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, sep, quota = chunk.partition("=")
+        if not sep:
+            raise ConfigurationError(
+                f"--tenants entry {chunk!r} is not NAME=BYTES_PER_WINDOW"
+            )
+        try:
+            quota_bytes = int(quota)
+        except ValueError:
+            raise ConfigurationError(
+                f"--tenants quota {quota!r} is not an integer"
+            ) from None
+        tenants.append(TenantSpec(name.strip(), quota_bytes))
+    if not tenants:
+        raise ConfigurationError("--tenants parsed no tenant specs")
+    return tuple(tenants)
+
+
+def _serve_planned(args, target, vocab) -> int:
+    """``serve --planner``: windowed, planned serving (docs/io_planner.md)."""
+    import json
+
+    from repro.ioplanner import PlannedQueryServer, PlannerConfig
+    from repro.serving import zipf_workload
+
+    window_seconds = args.plan_window / 1e3
+    tenants = (
+        _parse_tenants(args.tenants, window_seconds)
+        if args.tenants else ()
+    )
+    config = PlannerConfig(
+        window_seconds=window_seconds,
+        dram_bytes=int(args.dram_mb * (1 << 20)),
+        enabled=not args.no_planning,
+        workers=args.workers,
+        queue_capacity=max(1, args.queue),
+        deadline_seconds=(args.deadline_ms / 1e3
+                          if args.deadline_ms is not None else None),
+        k=args.k,
+        tenants=tenants,
+    )
+    requests = zipf_workload(
+        vocab, args.queries, args.rate, unique_queries=args.unique,
+        seed=args.seed,
+        tenants=[t.name for t in tenants] if tenants else None,
+    )
+    result = PlannedQueryServer(target, config).serve(requests)
+    report, planner = result.report, result.planner
+
+    if args.json:
+        payload = dict(report.to_dict(), rate_qps=args.rate,
+                       workers=args.workers, shards=args.shards,
+                       planner=planner.to_dict())
+        print(json.dumps(payload, indent=2))
+        return 0
+    mode = "planning on" if config.enabled else "planning OFF (baseline)"
+    print(f"{args.queries} requests at {args.rate:g} qps offered "
+          f"through the I/O planner ({mode}), "
+          f"window={args.plan_window:g}ms, dram={args.dram_mb:g}MiB, "
+          f"workers={args.workers}")
+    print(f"served {report.served}, shed {report.shed} "
+          f"({report.shed_fraction:.1%})")
+    print(f"latency ms: p50={report.p50_latency_seconds * 1e3:.3f} "
+          f"p95={report.p95_latency_seconds * 1e3:.3f} "
+          f"p99={report.p99_latency_seconds * 1e3:.3f}")
+    mib = 1 / (1 << 20)
+    print(f"demand {planner.demand_bytes * mib:.2f}MiB over "
+          f"{planner.windows} windows: "
+          f"{planner.staged_fraction:.1%} staged in DRAM "
+          f"(tier {planner.dram_hit_bytes * mib:.2f}MiB + dedup "
+          f"{planner.dedup_bytes * mib:.2f}MiB)")
+    print(f"SCM miss traffic: {planner.scm_seq_bytes * mib:.2f}MiB "
+          f"sequential + {planner.scm_rand_bytes * mib:.2f}MiB random "
+          f"(sequential share {planner.sequential_share:.1%}) in "
+          f"{planner.runs} transfers ({planner.sequential_runs} "
+          f"coalesced), gap-fill {planner.gap_bytes * mib:.3f}MiB, "
+          f"prefetch {planner.prefetch_bytes * mib:.3f}MiB")
+    if tenants:
+        for tenant in tenants:
+            served = planner.tenant_served.get(tenant.name, 0)
+            shed = planner.tenant_shed.get(tenant.name, 0)
+            nbytes = planner.tenant_bytes.get(tenant.name, 0)
+            print(f"tenant {tenant.name}: served {served}, shed {shed}, "
+                  f"{nbytes * mib:.2f}MiB charged "
+                  f"(quota {tenant.quota_bytes_per_window}B/window)")
     return 0
 
 

@@ -42,7 +42,8 @@ class ListCursor:
     __slots__ = ("_fetch_log", "_observer", "_list", "_work", "_traffic",
                  "_pattern", "_skip_class", "_block_index", "_position",
                  "_decoded_doc_ids", "_decoded_tfs", "_lasts", "_firsts",
-                 "_metadata_read_upto", "_decoded_cache", "_fast_path")
+                 "_metadata_read_upto", "_decoded_cache", "_fast_path",
+                 "_last_fetched_block")
 
     def __init__(self, posting_list: CompressedPostingList,
                  work: WorkCounters, traffic: TrafficCounter,
@@ -55,7 +56,12 @@ class ListCursor:
         if skip_class not in (SKIP_OVERLAP, SKIP_ET, SKIP_NONE):
             raise SimulationError(f"unknown skip class {skip_class!r}")
         #: Optional trace of payload fetches as (term, block_index,
-        #: bytes) tuples — consumed by the DRAM block-cache simulator.
+        #: bytes, pattern) tuples — consumed by the DRAM block-cache
+        #: simulator and the serving-layer I/O planner. ``pattern`` is
+        #: the *observed* spatial pattern of this cursor's walk: a fetch
+        #: that continues the previous fetched block is sequential, a
+        #: fetch that lands after a metadata-guided skip (or starts the
+        #: list anywhere but block 0) is random.
         self._fetch_log = fetch_log
         #: Observability hook; only consulted when ``observer.enabled``.
         self._observer = observer if observer is not None and observer.enabled else None
@@ -73,6 +79,9 @@ class ListCursor:
         self._firsts = [b.metadata.first_doc_id for b in posting_list.blocks]
         #: Highest block index whose metadata was charged so far.
         self._metadata_read_upto = -1
+        #: Index of the last payload actually fetched (-1 = none yet;
+        #: block 0 then counts as the sequential start of the stream).
+        self._last_fetched_block = -1
         #: Host-side :class:`repro.cache.DecodedBlockCache` (or None).
         self._decoded_cache = decoded_cache
         #: Bulk ``decode_block`` vs per-value reference decode.
@@ -304,13 +313,28 @@ class ListCursor:
         self._traffic.record(
             AccessClass.LD_LIST, self._pattern, block.compressed_bytes
         )
+        # The observed pattern of *this* fetch: sequential only when it
+        # continues the previous fetched block (block 0 counts as the
+        # sequential start of the stream). The aggregate device model
+        # above keeps the cursor's configured pattern — the accelerator's
+        # block fetch module streams metadata-directed loads ahead of
+        # demand — but the serving-layer cache/planner studies replay
+        # per-block demand fetches, where a skip landing is a random read.
+        fetched_pattern = (
+            AccessPattern.SEQUENTIAL
+            if self._block_index == self._last_fetched_block + 1
+            else AccessPattern.RANDOM
+        )
+        self._last_fetched_block = self._block_index
         if self._fetch_log is not None:
             self._fetch_log.append(
-                (self._list.term, self._block_index, block.compressed_bytes)
+                (self._list.term, self._block_index,
+                 block.compressed_bytes, fetched_pattern)
             )
         if self._observer is not None:
             self._observer.on_block_fetch(
-                self._list.term, self._block_index, block.compressed_bytes
+                self._list.term, self._block_index, block.compressed_bytes,
+                pattern=fetched_pattern,
             )
 
     def _charge_metadata(self, block_index: int) -> None:

@@ -45,8 +45,13 @@ class Observer:
         """A query finished; ``result`` is the full SearchResult."""
 
     def on_block_fetch(self, term: str, block_index: int,
-                       nbytes: int) -> None:
-        """The block fetch module pulled one compressed payload."""
+                       nbytes: int, pattern=None) -> None:
+        """The block fetch module pulled one compressed payload.
+
+        ``pattern`` is the observed :class:`~repro.scm.traffic.
+        AccessPattern` of the fetch — sequential when it continues the
+        previous fetched block of the same list, random after a skip.
+        """
 
     def on_block_skip(self, term: str, mechanism: str) -> None:
         """A block was skipped (``mechanism``: "et" or "overlap")."""
@@ -88,6 +93,12 @@ class Observer:
     def on_serving_complete(self, report) -> None:
         """A sustained-load run finished; ``report`` is the
         :class:`repro.serving.server.ServingReport`."""
+
+    def on_plan_complete(self, plan, prefetch_blocks: int = 0,
+                         prefetch_bytes: int = 0) -> None:
+        """The I/O planner closed one planning window; ``plan`` is the
+        :class:`repro.ioplanner.plan.FetchPlan` with its traffic
+        routing, plus the window's speculative prefetch volume."""
 
     def on_live_seal(self, segment_id: int, num_docs: int,
                      nbytes: int) -> None:
@@ -196,13 +207,18 @@ class RecordingObserver(Observer):
         return trace
 
     def on_block_fetch(self, term: str, block_index: int,
-                       nbytes: int) -> None:
+                       nbytes: int, pattern=None) -> None:
         self.registry.counter(
             "fetch.blocks", "compressed payload fetches"
         ).inc()
         self.registry.counter(
             "fetch.bytes", "compressed payload bytes fetched"
         ).inc(nbytes)
+        if pattern is not None:
+            self.registry.counter(
+                "fetch.pattern_bytes",
+                "payload bytes by observed spatial pattern",
+            ).inc(nbytes, pattern=pattern.value)
 
     def on_block_skip(self, term: str, mechanism: str) -> None:
         self.registry.counter(
@@ -307,6 +323,51 @@ class RecordingObserver(Observer):
         self.registry.gauge(
             "serving.last_shed_fraction", "shed fraction of last run"
         ).set(report.shed_fraction)
+
+    def on_plan_complete(self, plan, prefetch_blocks: int = 0,
+                         prefetch_bytes: int = 0) -> None:
+        registry = self.registry
+        registry.counter(
+            "planner.windows", "planning windows closed with demand"
+        ).inc()
+        registry.counter(
+            "planner.demand_bytes", "block bytes demanded by queries"
+        ).inc(plan.demand_bytes)
+        routed = registry.counter(
+            "planner.bytes", "demand bytes by routed source"
+        )
+        routed.inc(plan.dram_hit_bytes, source="dram")
+        routed.inc(plan.dedup_bytes, source="dedup")
+        routed.inc(plan.scm_seq_bytes, source="scm_seq")
+        routed.inc(plan.scm_rand_bytes, source="scm_rand")
+        registry.counter(
+            "planner.gap_bytes", "sequential gap-fill overhead bytes"
+        ).inc(plan.gap_bytes)
+        if prefetch_blocks or prefetch_bytes:
+            registry.counter(
+                "planner.prefetch_blocks", "blocks staged speculatively"
+            ).inc(prefetch_blocks)
+            registry.counter(
+                "planner.prefetch_bytes", "bytes staged speculatively"
+            ).inc(prefetch_bytes)
+        runs = registry.counter(
+            "planner.runs", "SCM transfers issued, by shape"
+        )
+        coalesced = plan.num_sequential_runs
+        if coalesced:
+            runs.inc(coalesced, shape="coalesced")
+        singletons = len(plan.runs) - coalesced
+        if singletons:
+            runs.inc(singletons, shape="singleton")
+        registry.gauge(
+            "planner.last_sequential_share",
+            "last window's sequential share of SCM miss bytes",
+        ).set(plan.sequential_share)
+        tenant_bytes = registry.counter(
+            "planner.tenant_bytes", "demand bytes charged per tenant"
+        )
+        for tenant, nbytes in plan.tenant_bytes.items():
+            tenant_bytes.inc(nbytes, tenant=tenant)
 
     def on_live_seal(self, segment_id: int, num_docs: int,
                      nbytes: int) -> None:

@@ -50,6 +50,9 @@ class Request:
     #: ``None`` for queries; ``(kind, payload)`` for mutations, e.g.
     #: ``("add", tokens)`` or ``("delete_oldest", None)``.
     update: Optional[tuple] = None
+    #: Owning tenant, for the I/O planner's per-tenant byte quotas
+    #: (:mod:`repro.ioplanner.fairness`); ignored by the plain server.
+    tenant: str = "default"
 
 
 class PoissonArrivals:
@@ -114,7 +117,9 @@ def zipf_workload(terms_by_df: Sequence[str], num_queries: int,
                   rate_qps: float, unique_queries: int = 32,
                   seed: int = 0,
                   arrivals=None,
-                  update_mix: float = 0.0) -> List[Request]:
+                  update_mix: float = 0.0,
+                  tenants: Optional[Sequence[str]] = None
+                  ) -> List[Request]:
     """The standard serving workload: Zipf query log, Poisson arrivals.
 
     ``terms_by_df`` is the vocabulary in descending document-frequency
@@ -128,6 +133,10 @@ def zipf_workload(terms_by_df: Sequence[str], num_queries: int,
     (steady churn that still grows the corpus). The substitution, the
     synthesized documents, and the arrival timeline are all functions
     of ``seed``, so an update-mix workload replays exactly.
+
+    ``tenants`` optionally tags requests with tenant names for the
+    I/O planner's quota scheduler, assigned round-robin by request id
+    (deterministic, and every tenant sees the same Zipf mix).
     """
     if not 0.0 <= update_mix <= 1.0:
         raise ConfigurationError(
@@ -143,6 +152,15 @@ def zipf_workload(terms_by_df: Sequence[str], num_queries: int,
     if arrivals is None:
         arrivals = PoissonArrivals(rate_qps, seed=seed)
     requests = build_requests(expressions, arrivals)
+    if tenants:
+        names = list(tenants)
+        requests = [
+            Request(request_id=r.request_id,
+                    arrival_seconds=r.arrival_seconds,
+                    expression=r.expression, update=r.update,
+                    tenant=names[r.request_id % len(names)])
+            for r in requests
+        ]
     if update_mix == 0.0:
         return requests
     vocab = list(terms_by_df)
@@ -165,5 +183,6 @@ def zipf_workload(terms_by_df: Sequence[str], num_queries: int,
             arrival_seconds=request.arrival_seconds,
             expression=expression,
             update=update,
+            tenant=request.tenant,
         ))
     return mixed

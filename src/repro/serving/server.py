@@ -151,14 +151,17 @@ class ServingReport:
     deadline_seconds: Optional[float] = None
     #: Arrival span of the workload (first to last arrival).
     offered_seconds: float = 0.0
-    #: First arrival to last completion.
+    #: First arrival to the last timeline event (completion *or*
+    #: arrival — a run whose tail is all shed still has a span).
     makespan_seconds: float = 0.0
     p50_latency_seconds: float = 0.0
     p95_latency_seconds: float = 0.0
     p99_latency_seconds: float = 0.0
     mean_latency_seconds: float = 0.0
     mean_queue_wait_seconds: float = 0.0
-    #: Queue depth sampled at every arrival.
+    #: Queue depth sampled at every arrival and every completion —
+    #: arrival-only sampling misses the drain side and under-reports
+    #: sustained pressure on overload-heavy runs.
     mean_queue_depth: float = 0.0
     max_queue_depth: int = 0
 
@@ -354,6 +357,7 @@ class QueryServer:
             if self._observer is not None:
                 self._observer.on_request_served(outcome)
             drain_queue(now)
+            depth_samples.append(len(queue))
 
         def admit(request: Request, now: float) -> None:
             if len(busy) < cfg.workers and not queue:
@@ -430,46 +434,65 @@ class QueryServer:
     def _build_report(self, outcomes: List[RequestOutcome],
                       depth_samples: List[int],
                       max_depth: int) -> ServingReport:
-        cfg = self._config
-        report = ServingReport(deadline_seconds=cfg.deadline_seconds)
-        report.num_requests = len(outcomes)
-        latencies: List[float] = []
-        waits: List[float] = []
-        last_completion = 0.0
-        for outcome in outcomes:
-            if outcome.served:
-                report.served += 1
-                latencies.append(outcome.latency_seconds)
-                waits.append(outcome.queue_wait_seconds)
-                last_completion = max(last_completion,
-                                      outcome.completion_seconds)
-                if outcome.degraded:
-                    report.served_degraded += 1
-                if outcome.slo_attained is True:
-                    report.slo_attained += 1
-                elif outcome.slo_attained is False:
-                    report.slo_violated += 1
-            else:
-                report.shed += 1
-                reason = outcome.shed_reason or "unknown"
-                report.shed_by_reason[reason] = (
-                    report.shed_by_reason.get(reason, 0) + 1
-                )
-        first_arrival = outcomes[0].arrival_seconds
-        report.offered_seconds = (
-            outcomes[-1].arrival_seconds - first_arrival
+        return build_serving_report(
+            outcomes, depth_samples, max_depth,
+            deadline_seconds=self._config.deadline_seconds,
         )
-        if latencies:
-            report.makespan_seconds = last_completion - first_arrival
-            ordered = sorted(latencies)
-            report.p50_latency_seconds = _percentile(ordered, 0.50)
-            report.p95_latency_seconds = _percentile(ordered, 0.95)
-            report.p99_latency_seconds = _percentile(ordered, 0.99)
-            report.mean_latency_seconds = sum(latencies) / len(latencies)
-            report.mean_queue_wait_seconds = sum(waits) / len(waits)
-        if depth_samples:
-            report.mean_queue_depth = (
-                sum(depth_samples) / len(depth_samples)
+
+
+def build_serving_report(outcomes: List[RequestOutcome],
+                         depth_samples: List[int],
+                         max_depth: int,
+                         deadline_seconds: Optional[float] = None,
+                         ) -> ServingReport:
+    """Aggregate per-request outcomes into a :class:`ServingReport`.
+
+    Shared by :class:`QueryServer` and the planner's windowed server so
+    the two report identical accounting. ``outcomes`` must be in
+    arrival order.
+    """
+    report = ServingReport(deadline_seconds=deadline_seconds)
+    report.num_requests = len(outcomes)
+    latencies: List[float] = []
+    waits: List[float] = []
+    last_completion = 0.0
+    for outcome in outcomes:
+        if outcome.served:
+            report.served += 1
+            latencies.append(outcome.latency_seconds)
+            waits.append(outcome.queue_wait_seconds)
+            last_completion = max(last_completion,
+                                  outcome.completion_seconds)
+            if outcome.degraded:
+                report.served_degraded += 1
+            if outcome.slo_attained is True:
+                report.slo_attained += 1
+            elif outcome.slo_attained is False:
+                report.slo_violated += 1
+        else:
+            report.shed += 1
+            reason = outcome.shed_reason or "unknown"
+            report.shed_by_reason[reason] = (
+                report.shed_by_reason.get(reason, 0) + 1
             )
-        report.max_queue_depth = max_depth
-        return report
+    first_arrival = outcomes[0].arrival_seconds
+    last_arrival = outcomes[-1].arrival_seconds
+    report.offered_seconds = last_arrival - first_arrival
+    # The run spans first arrival to the *last timeline event* — on an
+    # all-shed (overload) run that is the final arrival, not zero.
+    report.makespan_seconds = (
+        max(last_completion, last_arrival) - first_arrival
+    )
+    if latencies:
+        ordered = sorted(latencies)
+        report.p50_latency_seconds = _percentile(ordered, 0.50)
+        report.p95_latency_seconds = _percentile(ordered, 0.95)
+        report.p99_latency_seconds = _percentile(ordered, 0.99)
+        report.mean_latency_seconds = sum(latencies) / len(latencies)
+        report.mean_queue_wait_seconds = sum(waits) / len(waits)
+    if depth_samples:
+        report.mean_queue_depth = (
+            sum(depth_samples) / len(depth_samples)
+        )
+    report.max_queue_depth = max_depth
+    return report

@@ -30,7 +30,9 @@ from repro.core.result import SearchResult
 from repro.errors import ConfigurationError
 from repro.scm.device import MemoryDeviceModel, OPTANE_NODE_4CH
 
-#: One fetched block: (term, block_index, payload_bytes).
+#: One fetched block: (term, block_index, payload_bytes). Records with
+#: extra trailing fields (the engine's pattern-annotated fetch log) are
+#: accepted; only the first three fields are read here.
 FetchRecord = Tuple[str, int, int]
 
 
@@ -94,7 +96,7 @@ class BossCoreSimulator:
 
         # Assign each query term a decompression lane (round-robin past
         # num_lanes, which only matters for >4-term queries).
-        terms = list(dict.fromkeys(term for term, _b, _s in fetch_log))
+        terms = list(dict.fromkeys(record[0] for record in fetch_log))
         lane_of = {
             term: i % self.num_lanes for i, term in enumerate(terms)
         }
@@ -111,7 +113,8 @@ class BossCoreSimulator:
 
         # Per-block service times.
         blocks: List[Tuple[int, float, float, float]] = []
-        for term, _index, size in fetch_log:
+        for record in fetch_log:
+            term, _index, size = record[0], record[1], record[2]
             postings = size_to_postings(size, result)
             fetch_s = size / self.device.seq_read_bw
             decode_s = (

@@ -1,0 +1,1 @@
+"""Tests for the global I/O planner (repro.ioplanner)."""

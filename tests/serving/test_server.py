@@ -205,6 +205,51 @@ class TestServingMechanics:
         assert all(o.queue_wait_seconds == 0.0 for o in result)
         assert result.report.max_queue_depth == 0
 
+    def test_all_shed_run_keeps_its_timeline_span(self):
+        # Regression: with zero served requests the report used to
+        # claim a 0.0s makespan — the timeline still spanned first to
+        # last arrival. (QueryServer itself always serves the first
+        # arrival; admission layers that can shed everything, like the
+        # planner's tenant quotas, build their reports through this.)
+        from repro.serving.server import RequestOutcome, \
+            build_serving_report
+
+        outcomes = [
+            RequestOutcome(request_id=i, expression='"t0"',
+                           arrival_seconds=float(i) * 5.0,
+                           status="shed", shed_reason=SHED_QUEUE_FULL)
+            for i in range(3)
+        ]
+        report = build_serving_report(outcomes, depth_samples=[0, 0, 0],
+                                      max_depth=0)
+        assert report.served == 0 and report.shed == 3
+        assert report.makespan_seconds == pytest.approx(10.0)
+        assert report.offered_seconds == pytest.approx(10.0)
+        assert report.achieved_qps == 0.0
+
+    def test_makespan_still_ends_at_the_last_completion(self, index):
+        # When the final event is a completion (the common case), the
+        # fix must not change the answer.
+        server = QueryServer(_engine(index),
+                             ServingConfig(workers=1, queue_capacity=8,
+                                           k=10),
+                             service_time=_constant(1.0))
+        report = server.serve(_trace_requests([0.0, 0.1])).report
+        assert report.makespan_seconds == pytest.approx(2.0)
+
+    def test_queue_depth_sampled_at_completions_too(self, index):
+        # Regression: depth was sampled only at arrivals, so the drain
+        # side of the run never contributed. Three simultaneous
+        # arrivals behind one worker: arrival samples [0, 1, 2],
+        # completion samples [1, 0, 0] -> mean 4/6.
+        server = QueryServer(_engine(index),
+                             ServingConfig(workers=1, queue_capacity=8,
+                                           k=10),
+                             service_time=_constant(1.0))
+        report = server.serve(_trace_requests([0.0, 0.0, 0.0])).report
+        assert report.mean_queue_depth == pytest.approx(4 / 6)
+        assert report.max_queue_depth == 2
+
     def test_report_conservation_invariants(self, index):
         requests = zipf_workload(VOCAB, 80, rate_qps=3000.0, seed=6)
         server = QueryServer(

@@ -7,9 +7,15 @@ from repro.cache import (
     DecodedBlockCache,
     LRUBlockCache,
     cached_memory_seconds,
+    uncached_memory_seconds,
 )
 from repro.core import BossAccelerator, BossConfig
 from repro.errors import ConfigurationError
+from repro.scm.device import OPTANE_NODE_4CH
+from repro.scm.traffic import AccessPattern
+
+SEQ = AccessPattern.SEQUENTIAL
+RAND = AccessPattern.RANDOM
 
 
 class TestLRUBlockCache:
@@ -161,14 +167,82 @@ class TestCacheSimulator:
         trace = [("a", i % 4, 256) for i in range(100)]
         sim.replay(trace)
         report = sim.report()
-        from repro.scm.device import OPTANE_NODE_4CH
-        from repro.scm.traffic import AccessPattern
+        assert cached_memory_seconds(report) < uncached_memory_seconds(trace)
 
-        uncached = OPTANE_NODE_4CH.read_time(
-            report.dram_bytes + report.scm_bytes,
-            AccessPattern.SEQUENTIAL,
+    def test_misses_charged_at_recorded_pattern(self):
+        # Engine-random records (skip landings) never earn the
+        # sequential rate, even when adjacent in the replay stream.
+        sim = CacheSimulator(10_000)
+        sim.replay([("a", 0, 100, RAND), ("a", 1, 100, RAND)])
+        report = sim.report()
+        assert report.scm_rand_bytes == 200
+        assert report.scm_seq_bytes == 0
+
+    def test_unbroken_runs_stay_sequential(self):
+        sim = CacheSimulator(10_000)
+        sim.replay([("a", 0, 100, RAND), ("a", 1, 100, SEQ),
+                    ("a", 2, 100, SEQ)])
+        report = sim.report()
+        # The run start pays the seek; its continuation streams.
+        assert report.scm_rand_bytes == 100
+        assert report.scm_seq_bytes == 200
+
+    def test_hit_in_the_middle_breaks_the_run(self):
+        sim = CacheSimulator(10_000)
+        sim.replay([("a", 0, 100, RAND), ("a", 1, 100, SEQ)])
+        # Second pass: a1 hits in DRAM, so a2 restarts the SCM run.
+        sim.replay([("a", 1, 100, SEQ), ("a", 2, 100, SEQ)])
+        report = sim.report()
+        assert report.hits == 1
+        assert report.scm_rand_bytes == 200  # a0 and the restarted a2
+        assert report.scm_seq_bytes == 100   # a1 on the first pass
+
+    def test_other_term_interleaved_breaks_the_run(self):
+        sim = CacheSimulator(10_000)
+        sim.replay([("a", 0, 100, RAND), ("b", 0, 100, RAND),
+                    ("a", 1, 100, SEQ)])
+        report = sim.report()
+        assert report.scm_seq_bytes == 0
+        assert report.scm_rand_bytes == 300
+
+    def test_scm_random_fraction(self):
+        sim = CacheSimulator(10_000)
+        sim.replay([("a", 0, 100, RAND), ("a", 1, 300, SEQ)])
+        assert sim.report().scm_random_fraction == pytest.approx(0.25)
+
+
+class TestUncachedBaseline:
+    """Regression: the no-cache baseline must reflect Table I's
+    sequential/random asymmetry instead of charging everything at the
+    25.6 GB/s streaming rate."""
+
+    def test_scattered_trace_pays_the_random_penalty(self):
+        scattered = [("a", 0, 1000, RAND), ("a", 5, 1000, RAND),
+                     ("a", 9, 1000, RAND)]
+        mischarge = OPTANE_NODE_4CH.read_time(3000, SEQ)
+        honest = uncached_memory_seconds(scattered)
+        assert honest == pytest.approx(
+            OPTANE_NODE_4CH.read_time(3000, RAND)
         )
-        assert cached_memory_seconds(report) < uncached
+        # Table I: 25.6 vs 6.6 GB/s — roughly a 4x penalty.
+        assert honest / mischarge == pytest.approx(25.6 / 6.6)
+
+    def test_streaming_trace_keeps_the_sequential_rate(self):
+        streamed = [("a", i, 1000, SEQ) for i in range(8)]
+        assert uncached_memory_seconds(streamed) == pytest.approx(
+            OPTANE_NODE_4CH.read_time(8000, SEQ)
+        )
+
+    def test_engine_skips_produce_random_records(self, small_index):
+        engine = BossAccelerator(small_index, BossConfig(k=1))
+        engine.fetch_log = []
+        engine.search('"t0" AND "t3"')
+        patterns = {record[3] for record in engine.fetch_log}
+        assert patterns <= {SEQ, RAND}
+        # The honest baseline can only be >= the all-sequential one.
+        total = sum(record[2] for record in engine.fetch_log)
+        assert uncached_memory_seconds(engine.fetch_log) >= \
+            OPTANE_NODE_4CH.read_time(total, SEQ)
 
 
 class TestEngineIntegration:
@@ -177,8 +251,10 @@ class TestEngineIntegration:
         engine.fetch_log = []
         result = engine.search('"t0" OR "t2"')
         assert len(engine.fetch_log) == result.work.blocks_fetched
-        assert all(size > 0 for _t, _b, size in engine.fetch_log)
-        assert {t for t, _b, _s in engine.fetch_log} <= {"t0", "t2"}
+        assert all(size > 0 for _t, _b, size, _p in engine.fetch_log)
+        assert {t for t, _b, _s, _p in engine.fetch_log} <= {"t0", "t2"}
+        assert all(isinstance(p, AccessPattern)
+                   for _t, _b, _s, p in engine.fetch_log)
 
     def test_repeated_queries_hit_the_cache(self, small_index):
         engine = BossAccelerator(small_index, BossConfig(k=10))

@@ -294,6 +294,44 @@ class TestServe:
                      "--unique", "4"]) == 0
         assert "8 requests" in capsys.readouterr().out
 
+    def test_serve_planner_prints_traffic_split(self, capsys):
+        assert main(self.ARGS + ["--planner", "--rate", "3000",
+                                 "--tenants",
+                                 "alpha=200000,beta=100000"]) == 0
+        out = capsys.readouterr().out
+        assert "I/O planner (planning on)" in out
+        assert "staged in DRAM" in out
+        assert "SCM miss traffic" in out
+        assert "tenant alpha" in out and "tenant beta" in out
+
+    def test_serve_planner_json_conserves_traffic(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--planner", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        planner = record["planner"]
+        routed = (planner["dram_hit_bytes"] + planner["dedup_bytes"]
+                  + planner["scm_seq_bytes"] + planner["scm_rand_bytes"])
+        assert routed == planner["demand_bytes"] > 0
+        assert record["served"] + record["shed"] == 24
+
+    def test_serve_planner_off_baseline(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--planner", "--no-planning",
+                                 "--json"]) == 0
+        planner = json.loads(capsys.readouterr().out)["planner"]
+        assert planner["dram_hit_bytes"] == planner["dedup_bytes"] == 0
+        assert planner["demand_bytes"] > 0
+
+    def test_serve_planner_rejects_update_mix(self):
+        assert main(self.ARGS + ["--planner", "--update-mix",
+                                 "0.5"]) == 2
+
+    def test_serve_planner_rejects_bad_tenant_spec(self):
+        assert main(self.ARGS + ["--planner", "--tenants",
+                                 "alpha"]) == 2
+
 
 class TestIngestCommand:
     def test_ingest_reports_traffic(self, capsys):
