@@ -1,0 +1,249 @@
+#!/usr/bin/env python
+"""Rebalance benchmark: topology moves as maintenance traffic under load.
+
+Serves the same Zipf query workload twice over a replicated sharded
+cluster on the virtual serving timeline — once quiescent, once with a
+split -> merge -> add-replica move sequence spliced into the stream as
+background maintenance (:mod:`repro.cluster.rebalance`) — and reports
+what elasticity costs the foreground:
+
+* modeled p50/p95/p99 query latency with and without concurrent moves
+  (queries landing in a move's busy-window queue behind the maintenance
+  stream on the shared device);
+* per-move bytes streamed (sequential LD List out of sources, ST Index
+  into destinations), postings moved, and modeled maintenance seconds;
+* the differential oracle: after serving, cluster rankings must be
+  bit-identical to a static monolithic index over the same documents,
+  and every move's posting/byte conservation identity must hold.
+
+The latency trajectory is recorded as an artifact; the oracle and the
+conservation identity ARE gated — a run that loses a posting or shifts
+a ranking exits non-zero.
+
+Usage::
+
+    python benchmarks/bench_rebalance.py           # full run
+    python benchmarks/bench_rebalance.py --smoke   # CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.clock import VirtualClock  # noqa: E402
+from repro.cluster import (  # noqa: E402
+    AddReplica,
+    MergeShards,
+    Rebalancer,
+    RebalancingClusterTarget,
+    SplitShard,
+    rebalance_requests,
+    shard_documents,
+)
+from repro.core import BossAccelerator, BossConfig  # noqa: E402
+from repro.faults import make_faulty_cluster  # noqa: E402
+from repro.serving import (  # noqa: E402
+    QueryServer,
+    ServingConfig,
+    splice_requests,
+    zipf_workload,
+)
+from repro.workloads import synthetic_documents  # noqa: E402
+
+_REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+_DEFAULT_OUT = os.path.join(_REPO_ROOT, "BENCH_pr9.json")
+
+ORACLE_QUERIES = [
+    '"t0"',
+    '"t1" AND "t3"',
+    '"t2" OR "t5"',
+    '"t0" AND ("t2" OR "t4")',
+    '"t1" OR "t4" OR "t7"',
+]
+
+
+def _build(documents, *, shards, replication, k):
+    clock = VirtualClock()
+    cluster, sharded = make_faulty_cluster(
+        documents, shards, replication_factor=replication, k=k,
+        clock=clock,
+    )
+    rebalancer = Rebalancer(cluster, sharded, clock=clock, k=k)
+    return clock, cluster, sharded, rebalancer
+
+
+def _serve(documents, moves, *, shards, replication, k, queries, rate,
+           unique, workers, seed):
+    """One serving run; returns (report, rebalancer, cluster, sharded)."""
+    clock, cluster, sharded, rebalancer = _build(
+        documents, shards=shards, replication=replication, k=k
+    )
+    target = RebalancingClusterTarget(cluster, rebalancer)
+    vocab = [f"t{i}" for i in range(40)]
+    workload = zipf_workload(vocab, queries, rate, unique_queries=unique,
+                             seed=seed)
+    if moves:
+        workload = splice_requests(workload, rebalance_requests(moves))
+    config = ServingConfig(workers=workers, queue_capacity=2 * queries,
+                           admission="reject", k=k)
+    server = QueryServer(target, config,
+                         service_time=target.service_time, clock=clock)
+    report = server.serve(workload).report
+    return report, rebalancer, cluster, sharded
+
+
+def _latency_row(label, report):
+    return {
+        "label": label,
+        "served": report.served,
+        "shed": report.shed,
+        "p50_ms": round(report.p50_latency_seconds * 1e3, 6),
+        "p95_ms": round(report.p95_latency_seconds * 1e3, 6),
+        "p99_ms": round(report.p99_latency_seconds * 1e3, 6),
+        "mean_ms": round(report.mean_latency_seconds * 1e3, 6),
+    }
+
+
+def _check_oracle(cluster, documents, k):
+    """Post-serve rankings must match the static monolith bit-for-bit."""
+    monolith = BossAccelerator(shard_documents(documents, 1).indexes[0],
+                               BossConfig(k=k))
+    for expression in ORACLE_QUERIES:
+        expected = [(h.doc_id, round(h.score, 12))
+                    for h in monolith.search(expression, k=k).hits]
+        got = [(h.doc_id, round(h.score, 12))
+               for h in cluster.search(expression, k=k).hits]
+        if got != expected:
+            return False, expression
+    return True, None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--docs", type=int, default=2400,
+                        help="synthetic documents behind the cluster")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--replication", type=int, default=2)
+    parser.add_argument("--queries", type=int, default=400,
+                        help="queries in the open-loop workload")
+    parser.add_argument("--unique", type=int, default=32)
+    parser.add_argument("--rate", type=float, default=4000.0,
+                        help="offered load (queries/second)")
+    parser.add_argument("-k", type=int, default=10)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--out", default=_DEFAULT_OUT,
+                        help="JSON output path")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer docs/queries)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.docs = min(args.docs, 600)
+        args.queries = min(args.queries, 80)
+        args.unique = min(args.unique, 12)
+        args.shards = min(args.shards, 3)
+        args.workers = min(args.workers, 2)
+
+    print(f"building {args.docs}-document corpus, {args.shards} shards "
+          f"x{args.replication}, {args.queries} queries at "
+          f"{args.rate:g} qps ...")
+    documents = synthetic_documents(num_docs=args.docs, seed=args.seed)
+
+    # Move schedule: spread across the first ~60% of the workload's
+    # expected span so moves genuinely overlap traffic.
+    span = args.queries / args.rate
+    per_shard = (args.docs + args.shards - 1) // args.shards
+    moves = [
+        (0.10 * span, SplitShard(0, per_shard // 2)),
+        (0.35 * span, MergeShards(0)),
+        (0.60 * span, AddReplica(args.shards - 1)),
+    ]
+
+    serve_kwargs = dict(
+        shards=args.shards, replication=args.replication, k=args.k,
+        queries=args.queries, rate=args.rate, unique=args.unique,
+        workers=args.workers, seed=args.seed,
+    )
+    quiet_report, _, quiet_cluster, _ = _serve(documents, [],
+                                               **serve_kwargs)
+    busy_report, rebalancer, cluster, sharded = _serve(
+        documents, moves, **serve_kwargs
+    )
+
+    conservation_ok = True
+    move_rows = []
+    for report in rebalancer.reports:
+        try:
+            report.check_conservation()
+        except Exception as error:  # gated below
+            conservation_ok = False
+            print(f"CONSERVATION VIOLATED: {error}", file=sys.stderr)
+        move_rows.append(dict(report.to_dict(),
+                              modeled_ms=report.modeled_seconds * 1e3))
+    oracle_ok, diverged_on = _check_oracle(cluster, documents, args.k)
+
+    rows = [
+        _latency_row("quiescent", quiet_report),
+        _latency_row("under-rebalance", busy_report),
+    ]
+    payload = {
+        "benchmark": "bench_rebalance",
+        "config": {
+            "num_docs": args.docs,
+            "shards": args.shards,
+            "replication": args.replication,
+            "num_queries": args.queries,
+            "unique_queries": args.unique,
+            "rate_qps": args.rate,
+            "k": args.k,
+            "workers": args.workers,
+            "seed": args.seed,
+            "smoke": args.smoke,
+        },
+        "serving": rows,
+        "moves": move_rows,
+        "totals": {
+            "moves_published": rebalancer.moves_published,
+            "moves_aborted": rebalancer.moves_aborted,
+            "read_bytes": rebalancer.total_read_bytes,
+            "write_bytes": rebalancer.total_write_bytes,
+            "final_shards": sharded.num_shards,
+            "map_version": cluster.map_version,
+        },
+        "oracle_ok": oracle_ok,
+        "conservation_ok": conservation_ok,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(f"\n{'scenario':<18}{'served':>8}{'p50 ms':>11}{'p95 ms':>11}"
+          f"{'p99 ms':>11}")
+    for row in rows:
+        print(f"{row['label']:<18}{row['served']:>8}{row['p50_ms']:>11}"
+              f"{row['p95_ms']:>11}{row['p99_ms']:>11}")
+    print(f"\nmoves: {rebalancer.moves_published} published, "
+          f"{rebalancer.total_read_bytes} B read, "
+          f"{rebalancer.total_write_bytes} B written "
+          f"(map v{cluster.map_version}, {sharded.num_shards} shards)")
+    for row in move_rows:
+        print(f"  {row['detail']}: {row['postings_out']} postings, "
+              f"{row['modeled_ms']:.4f} ms maintenance")
+    print(f"oracle: {'ok' if oracle_ok else f'DIVERGED on {diverged_on!r}'}"
+          f"; conservation: {'ok' if conservation_ok else 'VIOLATED'}")
+    print(f"wrote {os.path.relpath(args.out, os.getcwd())}")
+    if not (oracle_ok and conservation_ok):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ Installed as the ``repro-boss`` console script (``repro`` is an alias)::
     repro-boss metrics --index corpus.boss --query '"memory"' --query '"a"'
     repro-boss bench   --queries 128 --repeat 2
     repro-boss serve   --rate 200 --queries 256 --admission reject
+    repro-boss rebalance --shards 4 --replication 2
     repro-boss demo
 
 ``build`` reads one whitespace-tokenized document per line. ``search``
@@ -36,6 +37,15 @@ retry/timeout/failover policy (``--retries``, ``--timeout-ms``,
 retry/timeout/failover counts and the degraded-result fraction;
 ``trace --shards`` prints the per-shard resilience breakdown of one
 query. See ``docs/robustness.md``.
+
+Elastic topology: ``rebalance`` runs shard split/merge and replica
+add/catch-up moves back to back over a synthetic sharded cluster and
+checks a differential ranking oracle against a monolithic index after
+every move. ``serve --rebalance-script FILE`` splices the same moves
+into a live serving workload as background maintenance traffic on a
+shared virtual clock — queries route around a draining shard via its
+replicas while the move streams, and the new shard map is published
+atomically (:mod:`repro.cluster.rebalance`).
 """
 
 from __future__ import annotations
@@ -211,10 +221,37 @@ def _build_parser() -> argparse.ArgumentParser:
                             "NAME=BYTES_PER_WINDOW (e.g. "
                             "'web=65536,batch=16384'); requests are "
                             "assigned round-robin")
+    serve.add_argument("--rebalance-script", default=None,
+                       help="splice elastic topology moves (split/merge/"
+                            "add-replica) into the workload as background "
+                            "maintenance traffic; requires --shards. "
+                            "Script lines: '@SECONDS split SHARD DOC', "
+                            "'@SECONDS merge SHARD', "
+                            "'@SECONDS add-replica SHARD [WAL_DIR]'")
     serve.add_argument("--json", action="store_true",
                        help="emit the serving report as JSON")
     _add_storage_arguments(serve)
     _add_fault_arguments(serve)
+
+    rebalance = sub.add_parser(
+        "rebalance",
+        help="elastic shard moves with a differential ranking oracle")
+    rebalance.add_argument("--script", default=None,
+                           help="rebalance script file (lines: "
+                                "'split SHARD DOC', 'merge SHARD', "
+                                "'add-replica SHARD [WAL_DIR]'; optional "
+                                "'@SECONDS' prefix is ignored here — "
+                                "moves run back to back). Default: a "
+                                "split -> merge -> add-replica demo "
+                                "sequence")
+    rebalance.add_argument("-k", type=int, default=10)
+    rebalance.add_argument("--oracle-queries", type=int, default=24,
+                           help="Zipf-sampled queries checked against "
+                                "the monolithic index after every move "
+                                "(0 disables the oracle)")
+    rebalance.add_argument("--json", action="store_true",
+                           help="emit per-move reports as JSON")
+    _add_fault_arguments(rebalance)
 
     ingest = sub.add_parser(
         "ingest",
@@ -296,7 +333,7 @@ def _add_fault_arguments(command) -> None:
                        help="synthetic documents behind the cluster")
 
 
-def _build_fault_cluster(args, k: int):
+def _build_fault_cluster(args, k: int, clock=None):
     """Assemble the faulty resilient cluster the CLI flags describe."""
     from repro.cluster.resilience import ResiliencePolicy
     from repro.faults import ZERO_FAULTS, FaultConfig, make_faulty_cluster
@@ -328,6 +365,7 @@ def _build_fault_cluster(args, k: int):
         args.shards, faults=faults, policy=policy,
         replication_factor=args.replication, k=k,
         replica_faults=ZERO_FAULTS if args.kill_shard is not None else None,
+        clock=clock,
     )
     return cluster, sharded
 
@@ -700,6 +738,13 @@ def _cmd_serve(args) -> int:
     from repro.errors import ConfigurationError
     from repro.serving import QueryServer, ServingConfig, zipf_workload
 
+    if args.rebalance_script:
+        if args.update_mix or args.planner:
+            raise ConfigurationError(
+                "--rebalance-script runs the sharded serving path; "
+                "drop --update-mix/--planner"
+            )
+        return _serve_rebalance(args)
     if args.update_mix:
         if args.planner:
             raise ConfigurationError(
@@ -949,6 +994,219 @@ def _serve_live(args) -> int:
     return 0
 
 
+def _load_rebalance_ops(path: str):
+    """Read and parse a rebalance script file; error if it holds no ops."""
+    from repro.cluster import parse_rebalance_script
+    from repro.errors import ConfigurationError
+
+    with open(path) as handle:
+        timed_ops = parse_rebalance_script(handle.read())
+    if not timed_ops:
+        raise ConfigurationError(
+            f"rebalance script {path!r} holds no operations"
+        )
+    return timed_ops
+
+
+def _serve_rebalance(args) -> int:
+    """``serve --rebalance-script``: topology moves under live traffic.
+
+    The moves ride the open-loop timeline as update requests spliced
+    between the queries; both sides share one virtual clock, so query
+    latency shows the maintenance busy-window and the whole run replays
+    from its seeds.
+    """
+    import json
+
+    from repro.clock import VirtualClock
+    from repro.cluster import (
+        Rebalancer,
+        RebalancingClusterTarget,
+        rebalance_requests,
+    )
+    from repro.errors import ConfigurationError
+    from repro.serving import (
+        QueryServer,
+        ServingConfig,
+        splice_requests,
+        zipf_workload,
+    )
+
+    if not args.shards:
+        raise ConfigurationError("--rebalance-script requires --shards")
+    if args.index:
+        raise ConfigurationError(
+            "--rebalance-script serves a synthetic sharded corpus; "
+            "drop --index"
+        )
+    timed_ops = _load_rebalance_ops(args.rebalance_script)
+    clock = VirtualClock()
+    cluster, sharded = _build_fault_cluster(args, args.k, clock=clock)
+    rebalancer = Rebalancer(cluster, sharded, clock=clock, k=args.k)
+    target = RebalancingClusterTarget(cluster, rebalancer)
+    vocab = [f"t{i}" for i in range(40)]
+    config = ServingConfig(
+        workers=args.workers,
+        queue_capacity=args.queue,
+        admission=args.admission,
+        deadline_seconds=(args.deadline_ms / 1e3
+                          if args.deadline_ms is not None else None),
+        k=args.k,
+    )
+    queries = zipf_workload(vocab, args.queries, args.rate,
+                            unique_queries=args.unique, seed=args.seed)
+    requests = splice_requests(queries, rebalance_requests(timed_ops))
+    server = QueryServer(target, config,
+                         service_time=target.service_time, clock=clock)
+    report = server.serve(requests).report
+
+    rebalance_stats = {
+        "moves_offered": len(timed_ops),
+        "moves_published": rebalancer.moves_published,
+        "moves_aborted": rebalancer.moves_aborted,
+        "rebalance_read_bytes": rebalancer.total_read_bytes,
+        "rebalance_write_bytes": rebalancer.total_write_bytes,
+        "map_version": cluster.map_version,
+        "final_shards": sharded.num_shards,
+        "moves": [move.to_dict() for move in rebalancer.reports],
+    }
+    if args.json:
+        payload = dict(report.to_dict(), rate_qps=args.rate,
+                       admission=args.admission, workers=args.workers,
+                       queue_capacity=args.queue, shards=args.shards,
+                       **rebalance_stats)
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{args.queries} queries + {len(timed_ops)} rebalance moves "
+          f"at {args.rate:g} qps offered ({args.shards} shards "
+          f"x{args.replication}), workers={args.workers}, "
+          f"admission={args.admission}")
+    print(f"served {report.served} ({report.served_degraded} degraded), "
+          f"shed {report.shed} ({report.shed_fraction:.1%})")
+    print(f"latency ms: p50={report.p50_latency_seconds * 1e3:.3f} "
+          f"p95={report.p95_latency_seconds * 1e3:.3f} "
+          f"p99={report.p99_latency_seconds * 1e3:.3f}")
+    print(f"rebalance: {rebalancer.moves_published} published, "
+          f"{rebalancer.moves_aborted} aborted; "
+          f"{rebalancer.total_read_bytes} B read + "
+          f"{rebalancer.total_write_bytes} B written; shard map "
+          f"v{cluster.map_version}, {sharded.num_shards} shards")
+    for move in rebalancer.reports:
+        outcome = "aborted" if move.aborted else "published"
+        print(f"  {move.kind} shard {move.shard} ({move.detail}): "
+              f"{outcome}, {move.postings_out} postings moved, "
+              f"{move.modeled_seconds * 1e3:.3f} ms maintenance")
+    return 0
+
+
+def _cmd_rebalance(args) -> int:
+    """``rebalance``: run moves back to back with a ranking oracle.
+
+    Every move is followed (and the run preceded) by a differential
+    check: the sharded cluster's rankings must be bit-identical to a
+    monolithic index over the same documents — the invariant the
+    elastic protocol promises (docs/robustness.md).
+    """
+    import json
+
+    from repro.clock import VirtualClock
+    from repro.cluster import (
+        AddReplica,
+        MergeShards,
+        Rebalancer,
+        SplitShard,
+        shard_documents,
+    )
+    from repro.errors import RebalanceError
+    from repro.workloads import QuerySampler, synthetic_documents
+
+    if not args.shards:
+        args.shards = 4
+    clock = VirtualClock()
+    cluster, sharded = _build_fault_cluster(args, args.k, clock=clock)
+    rebalancer = Rebalancer(cluster, sharded, clock=clock, k=args.k)
+
+    if args.script:
+        ops = [op for _at, op in _load_rebalance_ops(args.script)]
+    else:
+        # Demo sequence: split the first shard at its midpoint, merge
+        # the halves back, then add a catch-up replica to the last shard.
+        lo, hi = sharded.boundaries[0], sharded.boundaries[1]
+        ops = [
+            SplitShard(0, (lo + hi) // 2),
+            MergeShards(0),
+            AddReplica(sharded.num_shards - 1),
+        ]
+
+    oracle = None
+    if args.oracle_queries:
+        documents = synthetic_documents(num_docs=args.cluster_docs,
+                                        seed=args.fault_seed)
+        monolith = BossAccelerator(shard_documents(documents, 1).indexes[0],
+                                   BossConfig(k=args.k))
+        sampler = QuerySampler([f"t{i}" for i in range(40)],
+                               seed=args.fault_seed)
+        expressions = [
+            spec.expression
+            for spec in sampler.sample_zipf_log(
+                args.oracle_queries,
+                unique_queries=max(1, args.oracle_queries // 2))
+        ]
+
+        def oracle():
+            for expression in expressions:
+                expected = [(hit.doc_id, round(hit.score, 12))
+                            for hit in monolith.search(expression).hits]
+                got = [(hit.doc_id, round(hit.score, 12))
+                       for hit in cluster.search(expression, k=args.k).hits]
+                if got != expected:
+                    raise RebalanceError(
+                        f"oracle: cluster ranking diverged from the "
+                        f"monolith on {expression!r}"
+                    )
+
+    if oracle is not None:
+        oracle()
+    reports = []
+    for op in ops:
+        report = rebalancer.execute(op)
+        reports.append(report)
+        if oracle is not None:
+            oracle()
+
+    if args.json:
+        payload = {
+            "shards_before": args.shards,
+            "shards_after": sharded.num_shards,
+            "map_version": cluster.map_version,
+            "moves_published": rebalancer.moves_published,
+            "moves_aborted": rebalancer.moves_aborted,
+            "read_bytes": rebalancer.total_read_bytes,
+            "write_bytes": rebalancer.total_write_bytes,
+            "oracle_queries": args.oracle_queries,
+            "moves": [move.to_dict() for move in reports],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{len(reports)} moves on {args.shards} shards "
+          f"x{args.replication} ({args.cluster_docs} docs) -> "
+          f"{sharded.num_shards} shards, map v{cluster.map_version}")
+    for move in reports:
+        print(f"  {move.kind} shard {move.shard} ({move.detail}): "
+              f"{' -> '.join(move.states)}; {move.postings_out} postings "
+              f"out / {move.postings_in} in, {move.read_bytes} B read, "
+              f"{move.write_bytes} B written, "
+              f"{move.modeled_seconds * 1e3:.3f} ms maintenance")
+    if args.oracle_queries:
+        print(f"oracle: rankings bit-identical to the monolith across "
+              f"{args.oracle_queries} queries after every move")
+    print(f"totals: {rebalancer.total_read_bytes} B read, "
+          f"{rebalancer.total_write_bytes} B written, "
+          f"{rebalancer.moves_published} published / "
+          f"{rebalancer.moves_aborted} aborted")
+    return 0
+
+
 def _cmd_ingest(args) -> int:
     """``ingest``: drive the live index and report write traffic."""
     import json
@@ -1113,6 +1371,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": _cmd_metrics,
         "bench": _cmd_bench,
         "serve": _cmd_serve,
+        "rebalance": _cmd_rebalance,
         "ingest": _cmd_ingest,
         "demo": _cmd_demo,
     }

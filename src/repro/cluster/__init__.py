@@ -13,9 +13,22 @@ paper's deployment each leaf is one SCM memory node with a BOSS device.
   accounting;
 * :mod:`repro.cluster.resilience` — policy-driven resilient leaf
   execution: per-attempt timeouts, bounded retry with backoff, replica
-  failover, and graceful degradation with degraded-result accounting.
+  failover, and graceful degradation with degraded-result accounting;
+* :mod:`repro.cluster.rebalance` — elastic topology: shard split/merge
+  and replica add/catch-up as metered background maintenance traffic,
+  with an atomic shard-map publish and named mid-move kill-points.
 """
 
+from repro.cluster.rebalance import (
+    AddReplica,
+    MergeShards,
+    MoveReport,
+    RebalancingClusterTarget,
+    Rebalancer,
+    SplitShard,
+    parse_rebalance_script,
+    rebalance_requests,
+)
 from repro.cluster.resilience import (
     STRICT_POLICY,
     LeafOutcome,
@@ -34,4 +47,12 @@ __all__ = [
     "ResilienceStats",
     "LeafOutcome",
     "STRICT_POLICY",
+    "Rebalancer",
+    "RebalancingClusterTarget",
+    "MoveReport",
+    "SplitShard",
+    "MergeShards",
+    "AddReplica",
+    "parse_rebalance_script",
+    "rebalance_requests",
 ]

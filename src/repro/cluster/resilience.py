@@ -8,8 +8,13 @@ cluster root a policy-driven execution core shared by the serial path
 driver (:func:`repro.batch.run_query_batch`):
 
 * **bounded retry with exponential backoff** — each candidate engine
-  gets ``1 + max_retries`` attempts; attempt ``n`` sleeps
-  ``backoff_base_seconds * backoff_multiplier**n`` first;
+  gets ``1 + max_retries`` attempts; every attempt that follows a
+  failure — the ``n``-th such attempt globally — first sleeps
+  ``backoff_base_seconds * backoff_multiplier**(n - 1)``. The ladder
+  carries across the failover boundary: a replica's first attempt
+  follows the primary's last failure, so it backs off at the next rung
+  rather than hammering the replica instantly (set
+  ``reset_backoff_on_failover`` to restore the per-candidate ladder);
 * **per-attempt timeout** — cooperative: the attempt runs to completion
   and its *result is discarded* when it exceeded ``timeout_seconds``
   (a Python thread cannot be interrupted mid-search; discarding the
@@ -20,7 +25,8 @@ driver (:func:`repro.batch.run_query_batch`):
   actually answered is never reported failed when no retry or replica
   remains to do better;
 * **failover** — when a candidate exhausts its budget, execution moves
-  to the shard's next replica with a fresh attempt budget;
+  to the shard's next replica with a fresh attempt budget (the backoff
+  ladder, per the rule above, is *not* fresh);
 * **graceful degradation** — when every replica is exhausted the shard
   is reported failed; under ``allow_degraded`` the root merges without
   it, otherwise a :class:`~repro.errors.LeafExecutionError` naming the
@@ -59,6 +65,11 @@ class ResiliencePolicy:
     backoff_multiplier: float = 2.0
     #: Merge without an exhausted shard (True) or raise (False).
     allow_degraded: bool = True
+    #: Restart the backoff ladder (and skip the pre-first-attempt sleep)
+    #: on each replica, instead of carrying it across the failover
+    #: boundary. Off by default: an exhausted primary's replica should
+    #: not be hit harder than the primary's own next retry would have.
+    reset_backoff_on_failover: bool = False
 
     def __post_init__(self) -> None:
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
@@ -180,21 +191,32 @@ def execute_leaf(candidates: List, pruned, k: int,
                 shard_index=shard_index, expression=expression,
             ) from error
 
+    backoff_step = 0
     for candidate_index, engine in enumerate(candidates):
         if candidate_index > 0:
             outcome.failovers += 1
             if notify is not None:
                 notify.on_resilience_event("failover", shard_index)
+            if policy.reset_backoff_on_failover:
+                backoff_step = 0
         for attempt in range(policy.max_retries + 1):
             if attempt > 0:
                 outcome.retries += 1
                 if notify is not None:
                     notify.on_resilience_event("retry", shard_index)
-                if policy.backoff_base_seconds > 0:
-                    clock.sleep(
-                        policy.backoff_base_seconds
-                        * policy.backoff_multiplier ** (attempt - 1)
-                    )
+            # Back off before every attempt that follows a failure:
+            # retries, and — unless the policy resets the ladder on
+            # failover — the next replica's first attempt, which follows
+            # the primary's last failure.
+            follows_failure = attempt > 0 or (
+                candidate_index > 0 and not policy.reset_backoff_on_failover
+            )
+            if follows_failure and policy.backoff_base_seconds > 0:
+                clock.sleep(
+                    policy.backoff_base_seconds
+                    * policy.backoff_multiplier ** backoff_step
+                )
+                backoff_step += 1
             outcome.attempts += 1
             attempt_start = clock.now()
             try:

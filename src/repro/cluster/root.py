@@ -124,6 +124,10 @@ class SearchCluster:
         self._observer = (
             observer if observer is not None and observer.enabled else None
         )
+        #: Shards currently being rebalanced away from their primary.
+        self._draining: set = set()
+        #: Monotonic shard-map version; bumped by :meth:`publish_topology`.
+        self._map_version = 0
 
     @property
     def num_leaves(self) -> int:
@@ -154,9 +158,70 @@ class SearchCluster:
         """The clock resilient leaf execution runs on (None = wall)."""
         return self._clock
 
+    @property
+    def map_version(self) -> int:
+        """Which shard-map generation this root is serving."""
+        return self._map_version
+
     def shard_candidates(self, shard_index: int) -> List:
-        """Primary-first engine chain for one shard."""
-        return [self._engines[shard_index]] + self._replicas[shard_index]
+        """Primary-first engine chain for one shard.
+
+        While a shard is *draining* (its primary is streaming a
+        rebalance move — see :meth:`set_draining`) the chain is
+        replica-first: queries route around the busy primary via the
+        ordinary failover machinery, and the primary remains the chain's
+        last resort so an unreplicated shard still answers. Shard
+        indexes are immutable once built, so the reordering cannot
+        change a ranking — only who serves it.
+        """
+        primary = [self._engines[shard_index]]
+        replicas = self._replicas[shard_index]
+        if shard_index in self._draining and replicas:
+            return list(replicas) + primary
+        return primary + list(replicas)
+
+    def set_draining(self, shard_index: int, draining: bool = True) -> None:
+        """Mark/unmark one shard's primary as busy with maintenance."""
+        if not 0 <= shard_index < len(self._engines):
+            raise ConfigurationError(f"no shard {shard_index}")
+        if draining:
+            self._draining.add(shard_index)
+        else:
+            self._draining.discard(shard_index)
+
+    @property
+    def draining(self) -> frozenset:
+        """Shard indices currently routed replica-first."""
+        return frozenset(self._draining)
+
+    def publish_topology(self, engines: List,
+                         replicas: Optional[List[List]] = None) -> int:
+        """Atomically install a new shard map; returns its version.
+
+        The rebalancer builds the replacement engine/replica lists off
+        to the side (background maintenance traffic) and swaps them in
+        here as one step — no query ever observes a half-moved topology,
+        and a crash before this call leaves the old map serving.
+        Draining marks are cleared: they refer to the outgoing map's
+        shard indices.
+        """
+        if not engines:
+            raise ConfigurationError("cluster needs at least one leaf")
+        new_engines = list(engines)
+        if replicas is None:
+            new_replicas: List[List] = [[] for _ in new_engines]
+        else:
+            if len(replicas) != len(new_engines):
+                raise ConfigurationError(
+                    f"{len(replicas)} replica lists for "
+                    f"{len(new_engines)} shards"
+                )
+            new_replicas = [list(group) for group in replicas]
+        self._engines = new_engines
+        self._replicas = new_replicas
+        self._draining = set()
+        self._map_version += 1
+        return self._map_version
 
     def plan(self, query: Union[str, QueryNode]) -> "tuple":
         """Root-side query dissection: per-shard pruned sub-queries.

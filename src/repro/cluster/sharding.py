@@ -16,6 +16,7 @@ ranking).
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import Counter
 from typing import Iterable, List, Optional, Sequence
 
@@ -43,6 +44,13 @@ class ShardedCorpus:
             raise ConfigurationError(
                 "boundaries must bracket every shard"
             )
+        for i in range(len(boundaries) - 1):
+            if boundaries[i] >= boundaries[i + 1]:
+                raise ConfigurationError(
+                    f"shard boundaries must be strictly increasing; "
+                    f"boundaries[{i}]={boundaries[i]} >= "
+                    f"boundaries[{i + 1}]={boundaries[i + 1]}"
+                )
         if replication_factor < 1:
             raise ConfigurationError(
                 f"replication factor must be >= 1, got {replication_factor}"
@@ -78,11 +86,10 @@ class ShardedCorpus:
         ]
 
     def shard_of(self, doc_id: int) -> int:
-        """Index of the shard holding ``doc_id``."""
-        for i in range(self.num_shards):
-            if self.boundaries[i] <= doc_id < self.boundaries[i + 1]:
-                return i
-        raise ConfigurationError(f"docID {doc_id} outside every shard")
+        """Index of the shard holding ``doc_id`` (O(log shards))."""
+        if not self.boundaries[0] <= doc_id < self.boundaries[-1]:
+            raise ConfigurationError(f"docID {doc_id} outside every shard")
+        return bisect_right(self.boundaries, doc_id) - 1
 
 
 def shard_documents(documents: Iterable[Sequence[str]], num_shards: int,

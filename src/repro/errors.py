@@ -87,5 +87,13 @@ class LeafExecutionError(ReproError):
         self.expression = expression
 
 
+class RebalanceError(ReproError):
+    """A shard rebalance move could not be planned, validated, or
+    published (invalid plan, conservation-identity violation, or a
+    bootstrap replica failing parity with its primary). A move that
+    raises this never published: the old shard map keeps serving.
+    """
+
+
 # Public alias: the name users should import.
 InvertedIndexError = IndexError_

@@ -56,6 +56,15 @@ from repro.errors import (
 #:                              manifest/inputs not yet swapped
 #: ``mid_wal_append``           a torn frame tail reaches the log
 #: ``mid_recovery``             recovery itself dies (double crash)
+#:
+#: The elastic-cluster rebalancer (:mod:`repro.cluster.rebalance`) adds
+#: three boundaries of its own. Every one is *before* the atomic map
+#: publish, so a crash at any of them cleanly aborts the move — the old
+#: shard map keeps serving, and re-running the move completes it:
+#:
+#: ``rebalance_mid_stream``     a destination index is part-built
+#: ``rebalance_mid_catchup``    a WAL-bootstrap replica is part-replayed
+#: ``rebalance_pre_publish``    destinations complete, map not yet swapped
 KILL_POINTS = (
     "before_seal",
     "after_seal_pre_manifest",
@@ -63,6 +72,9 @@ KILL_POINTS = (
     "after_merge_pre_commit",
     "mid_wal_append",
     "mid_recovery",
+    "rebalance_mid_stream",
+    "rebalance_mid_catchup",
+    "rebalance_pre_publish",
 )
 
 

@@ -128,6 +128,15 @@ class Observer:
         """A crash recovery finished; ``report`` is the
         :class:`repro.live.durable.RecoveryReport`."""
 
+    def on_rebalance_step(self, kind: str, shard: int,
+                          state: str) -> None:
+        """A rebalance move reached a protocol state (``state`` is one
+        of :data:`repro.cluster.rebalance.MOVE_STATES`)."""
+
+    def on_rebalance_complete(self, report) -> None:
+        """A rebalance move finished (published or aborted); ``report``
+        is the :class:`repro.cluster.rebalance.MoveReport`."""
+
 
 #: Shared do-nothing observer; the default everywhere.
 NULL_OBSERVER = Observer()
@@ -456,6 +465,43 @@ class RecordingObserver(Observer):
             "live.recovery.last_modeled_seconds",
             "modeled device seconds of the last recovery's own I/O",
         ).set(report.modeled_seconds)
+
+    def on_rebalance_step(self, kind: str, shard: int,
+                          state: str) -> None:
+        self.registry.counter(
+            "rebalance.steps", "move protocol state transitions"
+        ).inc(kind=kind, state=state)
+
+    def on_rebalance_complete(self, report) -> None:
+        registry = self.registry
+        registry.counter(
+            "rebalance.moves", "topology moves, by kind and outcome"
+        ).inc(kind=report.kind,
+              outcome="aborted" if report.aborted else "published")
+        registry.counter(
+            "rebalance.read_bytes",
+            "sequential LD List bytes streamed out of move sources",
+        ).inc(report.read_bytes)
+        registry.counter(
+            "rebalance.write_bytes",
+            "sequential ST Index bytes written into move destinations",
+        ).inc(report.write_bytes)
+        # The conservation identity, exported: out == in for every
+        # published move (Rebalancer raises before publish otherwise).
+        moved = registry.counter(
+            "rebalance.postings_moved",
+            "postings streamed during moves, by direction",
+        )
+        moved.inc(report.postings_out, direction="out")
+        moved.inc(report.postings_in, direction="in")
+        registry.counter(
+            "rebalance.maintenance_seconds",
+            "modeled device seconds spent on move traffic",
+        ).inc(report.modeled_seconds)
+        if not report.aborted:
+            registry.gauge(
+                "rebalance.map_version", "current shard-map generation"
+            ).set(report.map_version)
 
     # ------------------------------------------------------------------
     # Registry publication

@@ -14,6 +14,7 @@ from repro.serving.loadgen import (
     Request,
     TraceArrivals,
     build_requests,
+    splice_requests,
     zipf_workload,
 )
 from repro.serving.server import (
@@ -36,5 +37,6 @@ __all__ = [
     "ServingResult",
     "TraceArrivals",
     "build_requests",
+    "splice_requests",
     "zipf_workload",
 ]

@@ -101,6 +101,26 @@ class TraceArrivals:
         return list(self._times[:count])
 
 
+def splice_requests(base: Sequence[Request],
+                    extras: Sequence[Request]) -> List[Request]:
+    """Merge two request streams into one arrival-ordered workload.
+
+    The serving loop admits requests in list order and keys outcomes by
+    ``request_id``, so the merged stream is renumbered ``0..n-1`` (the
+    sort is stable: a maintenance request spliced at an instant shared
+    with a query keeps its relative order). This is how background
+    maintenance — live-index mutations, cluster rebalance moves
+    (:func:`repro.cluster.rebalance.rebalance_requests`) — rides the
+    same open-loop timeline as foreground queries.
+    """
+    from dataclasses import replace
+
+    merged = sorted([*base, *extras], key=lambda r: r.arrival_seconds)
+    return [
+        replace(request, request_id=i) for i, request in enumerate(merged)
+    ]
+
+
 def build_requests(expressions: Sequence[str], arrivals) -> List[Request]:
     """Pair a query log with an arrival process, in arrival order."""
     expressions = list(expressions)

@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import SearchCluster, shard_documents
+from repro.compression import list_codecs
 from repro.core import BossAccelerator, BossConfig
 from repro.index import IndexBuilder
 
@@ -65,3 +66,65 @@ def test_property_cluster_equals_monolithic(seed, num_shards, k,
         ] == [
             (h.doc_id, round(h.score, 8)) for h in mono.hits
         ], (expression, num_shards)
+
+
+_CODECS = sorted(list_codecs())
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_shards=st.integers(min_value=2, max_value=6),
+    k=st.sampled_from([3, 10, 25]),
+    codec=st.sampled_from(_CODECS),
+    shape=st.sampled_from(["uniform", "alternating"]),
+)
+def test_property_tie_break_spans_shard_boundaries(num_shards, k, codec,
+                                                   shape):
+    """Root merge ties break exactly like the monolith's top-k.
+
+    Corpora built so that many documents share one BM25 score and those
+    score-ties straddle shard boundaries: every document identical
+    (``uniform``) or two interleaved score classes (``alternating``).
+    The hardware queue orders by ``(-score, doc_id)``, so the cluster
+    merge must reproduce the monolith's hit list bit-for-bit — lowest
+    docID first within a tie — for every codec.
+    """
+    num_docs = 48
+    if shape == "uniform":
+        documents = [["w0", "w1", "w1"] for _ in range(num_docs)]
+    else:
+        documents = [
+            ["w0", "w1"] if i % 2 == 0 else ["w0", "w0", "w1"]
+            for i in range(num_docs)
+        ]
+    monolithic_index = shard_documents(documents, num_shards=1,
+                                       schemes=[codec]).indexes[0]
+    monolithic = BossAccelerator(monolithic_index, BossConfig(k=k))
+    sharded = shard_documents(documents, num_shards=num_shards,
+                              schemes=[codec])
+    cluster = SearchCluster([
+        BossAccelerator(index, BossConfig(k=k))
+        for index in sharded.indexes
+    ])
+
+    for expression in ['"w0"', '"w1"', '"w0" AND "w1"', '"w0" OR "w1"']:
+        mono = monolithic.search(expression, k=k)
+        merged = cluster.search(expression, k=k)
+        pairs = [(h.doc_id, round(h.score, 10)) for h in merged.hits]
+        assert pairs == [
+            (h.doc_id, round(h.score, 10)) for h in mono.hits
+        ], (expression, codec, num_shards)
+        # When k exceeds a shard's capacity the hit list necessarily
+        # crosses a boundary — check the ties really do span shards:
+        # some tied score class contributes hits from two of them.
+        by_score: dict = {}
+        for doc_id, score in pairs:
+            by_score.setdefault(score, set()).add(sharded.shard_of(doc_id))
+        shard_size = (num_docs + num_shards - 1) // num_shards
+        if k > shard_size:
+            assert any(len(shards) > 1 for shards in by_score.values())
+        # Within a tie, lowest docID wins — the queue's documented order.
+        for score, _shards in by_score.items():
+            tied = [d for d, s in pairs if s == score]
+            assert tied == sorted(tied)
+

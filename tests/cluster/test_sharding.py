@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.cluster import shard_documents
+from repro.cluster import ShardedCorpus, shard_documents
 from repro.errors import ConfigurationError
 from repro.index.builder import GlobalStatistics
 
@@ -102,6 +102,51 @@ class TestReplication:
         with pytest.raises(ConfigurationError):
             shard_documents(_documents(30), num_shards=2,
                             replication_factor=0)
+
+
+class TestBoundaries:
+    """Regression (shard_of bugs): the routing table is validated at
+    construction and looked up by bisection, not a linear scan."""
+
+    def test_duplicate_boundary_rejected(self, sharded):
+        with pytest.raises(ConfigurationError):
+            ShardedCorpus(sharded.indexes, [0, 200, 200, 600])
+
+    def test_decreasing_boundary_rejected(self, sharded):
+        with pytest.raises(ConfigurationError):
+            ShardedCorpus(sharded.indexes, [0, 400, 200, 600])
+
+    def test_boundary_count_must_bracket_shards(self, sharded):
+        with pytest.raises(ConfigurationError):
+            ShardedCorpus(sharded.indexes, [0, 200, 600])
+
+    def test_shard_of_matches_linear_reference(self, sharded):
+        bounds = sharded.boundaries
+        for doc_id in range(bounds[0], bounds[-1]):
+            expected = next(
+                i for i in range(len(bounds) - 1)
+                if bounds[i] <= doc_id < bounds[i + 1]
+            )
+            assert sharded.shard_of(doc_id) == expected
+
+    def test_shard_of_rejects_below_first_interval(self, sharded):
+        with pytest.raises(ConfigurationError):
+            sharded.shard_of(-1)
+
+    def test_shard_of_on_nonzero_base(self):
+        # A corpus whose first interval does not start at docID 0 (the
+        # shape a split of a later shard produces) still routes and
+        # still rejects ids below the base instead of clamping to
+        # shard 0.
+        sharded = shard_documents(_documents(90), num_shards=3)
+        sharded.boundaries = [30, 45, 60, 90]
+        sharded.indexes = sharded.indexes[:3]
+        assert sharded.shard_of(30) == 0
+        assert sharded.shard_of(44) == 0
+        assert sharded.shard_of(45) == 1
+        assert sharded.shard_of(89) == 2
+        with pytest.raises(ConfigurationError):
+            sharded.shard_of(29)
 
 
 class TestValidation:

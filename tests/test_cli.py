@@ -333,6 +333,87 @@ class TestServe:
                                  "alpha"]) == 2
 
 
+class TestRebalance:
+    def test_default_demo_sequence(self, capsys):
+        assert main(["rebalance", "--cluster-docs", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "3 moves on 4 shards" in out
+        assert "split shard 0" in out
+        assert "merge shard 0" in out
+        assert "add_replica" in out
+        assert "bit-identical to the monolith" in out
+        assert "0 aborted" in out
+
+    def test_json_reports_conservation(self, capsys):
+        import json
+
+        assert main(["rebalance", "--shards", "3", "--replication", "2",
+                     "--cluster-docs", "240", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["moves_published"] == 3
+        assert record["moves_aborted"] == 0
+        assert record["map_version"] == 3
+        for move in record["moves"]:
+            assert move["postings_out"] == move["postings_in"] > 0
+            assert move["states"][-1] == "published"
+
+    def test_script_file(self, tmp_path, capsys):
+        import json
+
+        script = tmp_path / "moves.rbs"
+        script.write_text("split 0 40\nmerge 0\n# done\n")
+        assert main(["rebalance", "--shards", "3", "--cluster-docs",
+                     "240", "--script", str(script), "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert [m["kind"] for m in record["moves"]] == ["split", "merge"]
+        assert record["shards_after"] == 3
+
+    def test_empty_script_is_error(self, tmp_path):
+        script = tmp_path / "empty.rbs"
+        script.write_text("# nothing\n")
+        assert main(["rebalance", "--script", str(script)]) == 2
+
+    def test_invalid_move_is_error(self, tmp_path):
+        script = tmp_path / "bad.rbs"
+        script.write_text("merge 9\n")
+        assert main(["rebalance", "--shards", "2", "--cluster-docs",
+                     "200", "--script", str(script)]) == 2
+
+    def test_serve_with_rebalance_script(self, tmp_path, capsys):
+        import json
+
+        script = tmp_path / "moves.rbs"
+        script.write_text("@0.005 split 0 40\n@0.02 add-replica 1\n")
+        assert main(["serve", "--shards", "2", "--replication", "2",
+                     "--cluster-docs", "240", "--queries", "30",
+                     "--rate", "1000", "--rebalance-script", str(script),
+                     "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["moves_published"] == 2
+        assert record["moves_aborted"] == 0
+        assert record["final_shards"] == 3
+        assert record["map_version"] == 2
+        assert record["rebalance_read_bytes"] > 0
+        assert record["served"] == 32  # 30 queries + 2 moves
+
+    def test_serve_rebalance_script_requires_shards(self, tmp_path):
+        script = tmp_path / "moves.rbs"
+        script.write_text("merge 0\n")
+        assert main(["serve", "--queries", "8",
+                     "--rebalance-script", str(script)]) == 2
+
+    def test_serve_rebalance_human_output(self, tmp_path, capsys):
+        script = tmp_path / "moves.rbs"
+        script.write_text("@0.01 split 0 60\n")
+        assert main(["serve", "--shards", "2", "--cluster-docs", "240",
+                     "--queries", "20", "--rate", "800",
+                     "--rebalance-script", str(script)]) == 0
+        out = capsys.readouterr().out
+        assert "1 rebalance moves" in out
+        assert "rebalance: 1 published, 0 aborted" in out
+        assert "shard map v1" in out
+
+
 class TestIngestCommand:
     def test_ingest_reports_traffic(self, capsys):
         import json
