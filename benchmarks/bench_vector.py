@@ -1,0 +1,248 @@
+#!/usr/bin/env python
+"""Vector lane benchmark: nprobe sweep, recall, and hybrid quality.
+
+Three studies over one synthetic corpus, all on the modeled timeline
+(exactly reproducible, safe to gate CI on):
+
+* **nprobe sweep** — modeled p50/p99 ANN latency on the SCM pool vs
+  the all-DRAM baseline across probe widths, plus recall@10 against
+  the raw-embedding exact top-k. This is the lane's bandwidth story:
+  wider probes stream more sequential bytes, narrower probes trade
+  recall for latency, and SCM pays the Table I asymmetry either way.
+* **differential check** — IVF at ``nprobe = num_clusters`` must match
+  brute-force cosine top-k bit-for-bit (the engine's oracle contract).
+* **hybrid quality proxy** — topic purity@10: the fraction of returned
+  documents whose topic band matches the query's dominant band.
+  Synthetic corpora have no relevance judgments, but they *do* have
+  planted topic structure; a retriever that surfaces topically
+  coherent results scores higher. Hybrid fusion must not lose to
+  lexical-only BM25 on this proxy.
+
+Gates:
+
+* ``recall_pass`` — recall@10 at the default nprobe clears
+  ``GATE_RECALL_FLOOR``;
+* ``oracle_pass`` — full-probe search is bit-identical to brute force;
+* ``asymmetry_pass`` — SCM p99 is slower than DRAM p99 at every
+  nprobe (the device model must show through);
+* ``hybrid_pass`` — hybrid topic purity >= lexical-only purity.
+
+Results land in JSON (default: ``BENCH_pr10.json`` at the repo root);
+the process exits nonzero if a gate fails.
+
+Usage::
+
+    python benchmarks/bench_vector.py           # full run
+    python benchmarks/bench_vector.py --smoke   # CI-sized run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+import numpy as np  # noqa: E402
+
+from repro.core import BossAccelerator, BossConfig  # noqa: E402
+from repro.scm.device import DDR4_4CH, OPTANE_NODE_4CH  # noqa: E402
+from repro.vector import (  # noqa: E402
+    HybridSearch,
+    VectorEngine,
+    build_ivf,
+    embed_corpus,
+)
+from repro.workloads import make_corpus  # noqa: E402
+from repro.workloads.queries import QuerySampler  # noqa: E402
+
+_REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+_DEFAULT_OUT = os.path.join(_REPO_ROOT, "BENCH_pr10.json")
+
+#: Recall@10 the default nprobe must clear. The floor is part of the
+#: workload config: the full query mix clears 0.9; the CI smoke corpus
+#: is small enough that the sampled multi-topic queries land between
+#: centroid bands, so its stated floor is 0.8.
+FULL = dict(scale=0.4, queries=64, k=10, seed=23, codec="fp32",
+            first_stage_k=100, recall_floor=0.9)
+SMOKE = dict(scale=0.08, queries=24, k=10, seed=23, codec="fp32",
+             first_stage_k=60, recall_floor=0.8)
+
+
+def percentile(sorted_values, q):
+    return sorted_values[min(len(sorted_values) - 1,
+                             int(len(sorted_values) * q))]
+
+
+def sweep_point(ivf, embeddings, queries, nprobe, k):
+    """One nprobe setting: recall + modeled latency on both devices."""
+    rows = {}
+    for label, device in (("scm", OPTANE_NODE_4CH), ("dram", DDR4_4CH)):
+        engine = VectorEngine(ivf, embeddings, device=device,
+                              nprobe=nprobe)
+        latencies = sorted(
+            engine.search(q, k=k).modeled_seconds for q in queries
+        )
+        rows[label] = {
+            "p50_us": round(percentile(latencies, 0.50) * 1e6, 4),
+            "p99_us": round(percentile(latencies, 0.99) * 1e6, 4),
+        }
+    engine = VectorEngine(ivf, embeddings, nprobe=nprobe)
+    recall = engine.recall_at_k(queries, k=k)
+    sample = engine.search(queries[0], k=k)
+    return {
+        "nprobe": nprobe,
+        "recall_at_k": round(recall, 4),
+        "scm": rows["scm"],
+        "dram": rows["dram"],
+        "demand_bytes": sample.demand_bytes,
+        "coalesced_probes": sample.coalesced_probes,
+    }
+
+
+def oracle_check(ivf, embeddings, queries, k):
+    """Full-probe == brute force, bit for bit, for every query."""
+    engine = VectorEngine(ivf, embeddings)
+    for q in queries:
+        exact = engine.brute_force(q, k=k)
+        full = engine.search(q, k=k, nprobe=ivf.num_clusters)
+        if [(h.doc_id, h.score) for h in full.hits] != [
+            (h.doc_id, h.score) for h in exact
+        ]:
+            return False
+    return True
+
+
+def topic_purity(hits, target_topic, doc_topics):
+    if not hits:
+        return 0.0
+    on_topic = sum(
+        1 for h in hits if doc_topics[h.doc_id] == target_topic
+    )
+    return on_topic / len(hits)
+
+
+def hybrid_study(corpus, embeddings, ivf, queries, params):
+    """Topic purity@k: lexical-only vs both hybrid modes."""
+    doc_topics = embeddings.doc_topics
+    band_centroids = np.stack([
+        embeddings.doc_vectors[doc_topics == band].mean(axis=0)
+        for band in range(embeddings.spec.num_topics)
+    ])
+    lexical = BossAccelerator(corpus.index, BossConfig(k=params["k"]))
+    vector_engine = VectorEngine(ivf, embeddings)
+    modes = {
+        mode: HybridSearch(lexical, vector_engine, mode=mode,
+                           first_stage_k=params["first_stage_k"])
+        for mode in ("rerank", "rrf")
+    }
+    purity = {"lexical": [], "rerank": [], "rrf": []}
+    for q in queries:
+        qvec = vector_engine.query_vector(q)
+        target = int(np.argmax(band_centroids @ qvec))
+        purity["lexical"].append(topic_purity(
+            lexical.search(q, k=params["k"]).hits, target, doc_topics
+        ))
+        for mode, hybrid in modes.items():
+            purity[mode].append(topic_purity(
+                hybrid.search(q, k=params["k"]).hits, target, doc_topics
+            ))
+    return {
+        name: round(sum(values) / len(values), 4)
+        for name, values in purity.items()
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized corpus and query set")
+    parser.add_argument("--out", default=_DEFAULT_OUT,
+                        help="JSON output path")
+    args = parser.parse_args(argv)
+
+    params = SMOKE if args.smoke else FULL
+    corpus = make_corpus("ccnews-like", scale=params["scale"],
+                         seed=params["seed"])
+    embeddings = embed_corpus(corpus)
+    ivf = build_ivf(embeddings, codec=params["codec"])
+    sampler = QuerySampler(corpus.terms_by_df(), seed=params["seed"])
+    queries = [
+        spec.expression
+        for spec in sampler.sample_zipf_log(
+            params["queries"], unique_queries=params["queries"]
+        )
+    ]
+    print(f"{embeddings.num_docs} docs x dim {embeddings.dim} -> "
+          f"{ivf.num_clusters} clusters ({ivf.codec}), "
+          f"{len(queries)} queries")
+
+    default_nprobe = max(1, ivf.num_clusters // 4)
+    widths = sorted({
+        1,
+        max(1, ivf.num_clusters // 8),
+        default_nprobe,
+        max(1, ivf.num_clusters // 2),
+        ivf.num_clusters,
+    })
+    sweep = [
+        sweep_point(ivf, embeddings, queries, nprobe, params["k"])
+        for nprobe in widths
+    ]
+    for row in sweep:
+        print(f"nprobe={row['nprobe']:>4}: recall@{params['k']} "
+              f"{row['recall_at_k']:.3f}  scm p99 "
+              f"{row['scm']['p99_us']:.2f}us  dram p99 "
+              f"{row['dram']['p99_us']:.2f}us  demand "
+              f"{row['demand_bytes']:,}B")
+
+    oracle_ok = oracle_check(ivf, embeddings, queries[:8], params["k"])
+    default_row = next(r for r in sweep if r["nprobe"] == default_nprobe)
+    recall_default = default_row["recall_at_k"]
+    asymmetry_ok = all(
+        row["scm"]["p99_us"] > row["dram"]["p99_us"] for row in sweep
+    )
+
+    quality = hybrid_study(corpus, embeddings, ivf, queries, params)
+    hybrid_best = max(quality["rerank"], quality["rrf"])
+    print(f"topic purity@{params['k']}: lexical "
+          f"{quality['lexical']:.3f}  rerank {quality['rerank']:.3f}  "
+          f"rrf {quality['rrf']:.3f}")
+
+    gates = {
+        "recall_at_default_nprobe": recall_default,
+        "recall_floor": params["recall_floor"],
+        "recall_pass": recall_default >= params["recall_floor"],
+        "oracle_pass": oracle_ok,
+        "asymmetry_pass": asymmetry_ok,
+        "hybrid_purity": hybrid_best,
+        "lexical_purity": quality["lexical"],
+        "hybrid_pass": hybrid_best >= quality["lexical"],
+    }
+    for name in ("recall", "oracle", "asymmetry", "hybrid"):
+        print(f"{name}: {'PASS' if gates[f'{name}_pass'] else 'FAIL'}")
+
+    payload = {
+        "workload": dict(params, num_docs=embeddings.num_docs,
+                         dim=embeddings.dim,
+                         clusters=ivf.num_clusters,
+                         default_nprobe=default_nprobe),
+        "nprobe_sweep": sweep,
+        "hybrid_quality": quality,
+        "gates": gates,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0 if all(
+        gates[key] for key in gates if key.endswith("_pass")
+    ) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

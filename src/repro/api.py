@@ -56,6 +56,8 @@ class BossSession:
         self._accelerator: Optional[BossAccelerator] = None
         self._programs: Dict[str, DecompressorProgram] = {}
         self._mapped_bytes = 0
+        self._vector_engine = None
+        self._hybrid_cache: Dict[tuple, object] = {}
         self.mai = MemoryAccessInterface()
 
     @property
@@ -104,6 +106,9 @@ class BossSession:
 
             self._accelerator = FaultyEngine(self._accelerator,
                                              self._faults)
+        # A new index invalidates any vector lane built over the old one.
+        self._vector_engine = None
+        self._hybrid_cache = {}
         self._programs = dict(BUILTIN_PROGRAMS)
         if config_file is not None:
             text = Path(config_file).read_text()
@@ -188,6 +193,89 @@ class BossSession:
                             f"{comp_type!r}"
                         )
         return run_query_batch(self, q_expressions, k=k, workers=workers)
+
+    # ------------------------------------------------------------------
+    # Vector / hybrid lane
+    # ------------------------------------------------------------------
+
+    def init_vectors(self, embedding_spec=None,
+                     num_clusters: Optional[int] = None,
+                     codec: str = "fp32",
+                     nprobe: Optional[int] = None,
+                     kmeans_seed: int = 0,
+                     device=None,
+                     ivf_path=None):
+        """Build (or load) the ANN lane over the initialized index.
+
+        Embeds the corpus deterministically
+        (:func:`repro.vector.embeddings.embed_index`), clusters it into
+        an IVF layout, and attaches a
+        :class:`~repro.vector.engine.VectorEngine` sharing this
+        session's observer. ``ivf_path`` loads a pre-built ``.bossv``
+        file instead of clustering (the embeddings are still derived
+        from the index — they are a pure function of it).
+        Returns the engine.
+        """
+        self._require_init()
+        from repro.scm.device import OPTANE_NODE_4CH
+        from repro.vector.embeddings import embed_index
+        from repro.vector.engine import VectorEngine
+        from repro.vector.ivf import build_ivf, load_ivf
+
+        embeddings = embed_index(self._index, embedding_spec)
+        if ivf_path is not None:
+            ivf = load_ivf(ivf_path)
+        else:
+            ivf = build_ivf(embeddings, num_clusters=num_clusters,
+                            codec=codec, seed=kmeans_seed)
+        self._vector_engine = VectorEngine(
+            ivf, embeddings,
+            device=OPTANE_NODE_4CH if device is None else device,
+            nprobe=nprobe, observer=self._observer,
+        )
+        self._hybrid_cache = {}
+        return self._vector_engine
+
+    @property
+    def vector_engine(self):
+        """The attached ANN lane (raises until :meth:`init_vectors`)."""
+        if self._vector_engine is None:
+            raise ConfigurationError(
+                "vector lane not initialized; call init_vectors()"
+            )
+        return self._vector_engine
+
+    def vector_search(self, q_expression, k: int = 10,
+                      nprobe: Optional[int] = None):
+        """ANN search over the attached vector lane."""
+        return self.vector_engine.search(q_expression, k=k, nprobe=nprobe)
+
+    def hybrid(self, mode: str = "rerank", first_stage_k: int = 100,
+               nprobe: Optional[int] = None):
+        """A (cached) :class:`~repro.vector.hybrid.HybridSearch` over
+        this session's accelerator and vector lane — also the target to
+        hand to :func:`repro.batch.run_query_batch` or the serving
+        layer for batched/served hybrid traffic."""
+        key = (mode, first_stage_k, nprobe)
+        cached = self._hybrid_cache.get(key)
+        if cached is None:
+            from repro.vector.hybrid import HybridSearch
+
+            cached = HybridSearch(
+                self.accelerator, self.vector_engine, mode=mode,
+                first_stage_k=first_stage_k, nprobe=nprobe,
+                observer=self._observer,
+            )
+            self._hybrid_cache[key] = cached
+        return cached
+
+    def search_hybrid(self, q_expression, k: int = 10,
+                      mode: str = "rerank", first_stage_k: int = 100,
+                      nprobe: Optional[int] = None):
+        """One hybrid query (BM25 -> vector rerank, or RRF fusion)."""
+        return self.hybrid(
+            mode=mode, first_stage_k=first_stage_k, nprobe=nprobe
+        ).search(q_expression, k=k)
 
     def _search_oversized(self, node, k: Optional[int],
                           result_size: Optional[int]) -> SearchResult:

@@ -99,7 +99,53 @@ def _build_parser() -> argparse.ArgumentParser:
     search.add_argument("-k", type=int, default=10)
     search.add_argument("--engine", choices=("boss", "iiu", "lucene"),
                         default="boss")
+    search.add_argument("--hybrid", choices=("rerank", "rrf"),
+                        default=None,
+                        help="hybrid retrieval: BM25 candidates + "
+                             "vector rerank, or RRF fusion of lexical "
+                             "and ANN rankings (builds the vector lane "
+                             "over the index; boss engine only)")
+    search.add_argument("--first-stage-k", type=int, default=100,
+                        help="hybrid candidate depth (rerank: first-"
+                             "stage k; rrf: per-retriever depth)")
+    search.add_argument("--codec", choices=("fp32", "int8"),
+                        default="fp32",
+                        help="vector codec for --hybrid")
     _add_storage_arguments(search)
+
+    vsearch = sub.add_parser(
+        "vsearch",
+        help="ANN vector search over an IVF layout on the SCM model")
+    vsearch.add_argument("--preset", default="ccnews-like",
+                         help="synthetic corpus preset")
+    vsearch.add_argument("--scale", type=float, default=0.1,
+                         help="synthetic corpus scale factor")
+    vsearch.add_argument("--query", default=None,
+                         help="one query expression (embedded via its "
+                              "terms); default: a sampled query set "
+                              "with a recall report")
+    vsearch.add_argument("--queries", type=int, default=16,
+                         help="sampled queries for the recall report")
+    vsearch.add_argument("--clusters", type=int, default=None,
+                         help="IVF cluster count (default sqrt(docs))")
+    vsearch.add_argument("--codec", choices=("fp32", "int8"),
+                         default="fp32", help="vector storage codec")
+    vsearch.add_argument("--nprobe", type=int, default=None,
+                         help="clusters probed per query "
+                              "(default: clusters/4)")
+    vsearch.add_argument("-k", type=int, default=10)
+    vsearch.add_argument("--device", choices=("scm", "dram"),
+                         default="scm",
+                         help="device model holding the cluster layout")
+    vsearch.add_argument("--save", default=None,
+                         help="write the IVF layout to this .bossv file")
+    vsearch.add_argument("--ivf", default=None,
+                         help="load a pre-built .bossv layout instead "
+                              "of clustering")
+    vsearch.add_argument("--seed", type=int, default=1,
+                         help="query-sampling seed")
+    vsearch.add_argument("--json", action="store_true",
+                         help="emit the report as JSON")
 
     check = sub.add_parser("validate",
                            help="integrity-check an index file")
@@ -221,6 +267,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             "NAME=BYTES_PER_WINDOW (e.g. "
                             "'web=65536,batch=16384'); requests are "
                             "assigned round-robin")
+    serve.add_argument("--hybrid", choices=("rerank", "rrf"),
+                       default=None,
+                       help="serve hybrid lexical+vector traffic: the "
+                            "vector lane is built over the corpus and "
+                            "each request pays lexical device time + "
+                            "ANN scan time + host rerank time on the "
+                            "virtual timeline")
     serve.add_argument("--rebalance-script", default=None,
                        help="splice elastic topology moves (split/merge/"
                             "add-replica) into the workload as background "
@@ -419,6 +472,8 @@ def _cmd_info(args) -> int:
 
 def _cmd_search(args) -> int:
     index = _load_cli_index(args)
+    if args.hybrid:
+        return _search_hybrid(args, index)
     if args.engine == "boss":
         engine = BossAccelerator(index, BossConfig(k=args.k))
         model = BossTimingModel()
@@ -438,6 +493,153 @@ def _cmd_search(args) -> int:
     print(f"traffic: {result.traffic.total_bytes} B device, "
           f"{result.interconnect_bytes} B host link; "
           f"modeled latency {latency * 1e6:.1f} us")
+    return 0
+
+
+def _search_hybrid(args, index) -> int:
+    """``search --hybrid``: lexical + vector retrieval over one index."""
+    from repro.errors import ConfigurationError
+
+    if args.engine != "boss":
+        raise ConfigurationError(
+            "--hybrid runs on the boss engine; drop --engine"
+        )
+    from repro.api import BossSession
+
+    session = BossSession(BossConfig(k=args.k))
+    session.init(index)
+    session.init_vectors(codec=args.codec)
+    result = session.search_hybrid(
+        args.query, k=args.k, mode=args.hybrid,
+        first_stage_k=args.first_stage_k,
+    )
+    print(f"[hybrid:{result.mode}] {args.query}")
+    for rank, hit in enumerate(result.hits, start=1):
+        print(f"{rank:>3}. doc {hit.doc_id:<8} score {hit.score:.4f}")
+    if not result.hits:
+        print("  (no matching documents)")
+    if result.mode == "rerank":
+        print(f"{result.candidates} candidates rescored, "
+              f"rerank {result.rerank_seconds * 1e6:.1f} us host")
+    else:
+        vec = result.vector
+        print(f"fused {result.candidates} candidates; ANN probed "
+              f"{vec.clusters_probed} clusters / "
+              f"{vec.vectors_scanned} vectors "
+              f"({vec.demand_bytes} B demand)")
+    print(f"modeled end-to-end latency "
+          f"{result.modeled_seconds * 1e6:.1f} us")
+    return 0
+
+
+def _cmd_vsearch(args) -> int:
+    """``vsearch``: the ANN lane standalone, with its traffic ledger."""
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.vector import VectorEngine, build_ivf, embed_corpus
+    from repro.workloads import make_corpus
+
+    corpus = make_corpus(args.preset, scale=args.scale)
+    embeddings = embed_corpus(corpus)
+    if args.ivf:
+        from repro.vector import load_ivf
+
+        ivf = load_ivf(args.ivf)
+        if ivf.num_docs != embeddings.num_docs:
+            raise ConfigurationError(
+                f"{args.ivf} holds {ivf.num_docs} vectors but the "
+                f"corpus has {embeddings.num_docs} documents"
+            )
+    else:
+        ivf = build_ivf(embeddings, num_clusters=args.clusters,
+                        codec=args.codec)
+    if args.save:
+        from repro.vector import save_ivf
+
+        nbytes = save_ivf(ivf, args.save)
+        print(f"wrote {args.save} ({nbytes} B)")
+    engine = VectorEngine(ivf, embeddings,
+                          device=_live_device(args.device),
+                          nprobe=args.nprobe)
+
+    if args.query:
+        result = engine.search(args.query, k=args.k)
+        oracle = engine.brute_force(args.query, k=args.k)
+        oracle_ids = [hit.doc_id for hit in oracle]
+        if args.json:
+            print(json.dumps({
+                "query": args.query, "hits": [
+                    {"doc_id": h.doc_id, "score": h.score}
+                    for h in result.hits
+                ],
+                "nprobe": result.nprobe,
+                "clusters_probed": result.clusters_probed,
+                "vectors_scanned": result.vectors_scanned,
+                "centroid_bytes": result.centroid_bytes,
+                "cluster_seq_bytes": result.cluster_seq_bytes,
+                "cluster_hop_bytes": result.cluster_hop_bytes,
+                "demand_bytes": result.demand_bytes,
+                "modeled_seconds": result.modeled_seconds,
+                "brute_force": oracle_ids,
+            }, indent=2))
+            return 0
+        print(f"[vector] {args.query} on {ivf.num_clusters} clusters "
+              f"({ivf.codec}), nprobe={result.nprobe}, "
+              f"device={args.device}")
+        for rank, hit in enumerate(result.hits, start=1):
+            marker = " " if hit.doc_id in oracle_ids else "*"
+            print(f"{rank:>3}.{marker}doc {hit.doc_id:<8} "
+                  f"cosine {hit.score:.4f}")
+        print(f"probed {result.clusters_probed} clusters / "
+              f"{result.vectors_scanned} vectors "
+              f"({result.coalesced_probes} probes coalesced)")
+        print(f"traffic: centroid {result.centroid_bytes} B seq + "
+              f"cluster {result.cluster_seq_bytes} B seq + "
+              f"{result.cluster_hop_bytes} B random hops "
+              f"= {result.demand_bytes} B demand (conserved)")
+        print(f"modeled latency {result.modeled_seconds * 1e6:.2f} us")
+        return 0
+
+    # Query-set mode: sampled term queries, recall + latency report.
+    from repro.workloads.queries import QuerySampler
+
+    sampler = QuerySampler(corpus.terms_by_df(), seed=args.seed)
+    queries = [
+        spec.expression
+        for spec in sampler.sample_zipf_log(
+            max(1, args.queries), unique_queries=max(1, args.queries)
+        )
+    ]
+    recall = engine.recall_at_k(queries, k=args.k)
+    latencies = sorted(
+        engine.search(q, k=args.k).modeled_seconds for q in queries
+    )
+    p50 = latencies[len(latencies) // 2]
+    p99 = latencies[min(len(latencies) - 1,
+                        int(len(latencies) * 0.99))]
+    payload = {
+        "preset": args.preset, "scale": args.scale,
+        "num_docs": embeddings.num_docs, "dim": embeddings.dim,
+        "clusters": ivf.num_clusters, "codec": ivf.codec,
+        "nprobe": engine.nprobe, "device": args.device,
+        "queries": len(queries), "k": args.k,
+        f"recall_at_{args.k}": recall,
+        "p50_modeled_us": p50 * 1e6, "p99_modeled_us": p99 * 1e6,
+        "packed_bytes": ivf.packed_bytes,
+        "centroid_bytes": ivf.centroid_bytes,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{embeddings.num_docs} docs x dim {embeddings.dim} -> "
+          f"{ivf.num_clusters} clusters ({ivf.codec}), "
+          f"layout {ivf.packed_bytes} B on {args.device} + "
+          f"{ivf.centroid_bytes} B centroids in DRAM")
+    print(f"{len(queries)} queries, nprobe={engine.nprobe}: "
+          f"recall@{args.k} {recall:.3f} vs exact")
+    print(f"modeled latency p50={p50 * 1e6:.2f} us "
+          f"p99={p99 * 1e6:.2f} us")
     return 0
 
 
@@ -738,6 +940,14 @@ def _cmd_serve(args) -> int:
     from repro.errors import ConfigurationError
     from repro.serving import QueryServer, ServingConfig, zipf_workload
 
+    if args.hybrid:
+        if args.planner or args.update_mix or args.shards \
+                or args.rebalance_script:
+            raise ConfigurationError(
+                "--hybrid serves a single-engine hybrid target; drop "
+                "--planner/--update-mix/--shards/--rebalance-script"
+            )
+        return _serve_hybrid(args)
     if args.rebalance_script:
         if args.update_mix or args.planner:
             raise ConfigurationError(
@@ -818,6 +1028,78 @@ def _cmd_serve(args) -> int:
           f"p99={report.p99_latency_seconds * 1e3:.2f}")
     print(f"queue depth: mean={report.mean_queue_depth:.2f} "
           f"max={report.max_queue_depth}")
+    return 0
+
+
+def _serve_hybrid(args) -> int:
+    """``serve --hybrid``: hybrid traffic on the open-loop timeline.
+
+    Service time is fully modeled (lexical device time + ANN scan time
+    + host rerank time), so the run is a pure function of the workload
+    — the same determinism contract as ``--update-mix`` serving.
+    """
+    import json
+
+    from repro.serving import QueryServer, ServingConfig, zipf_workload
+    from repro.vector import (
+        HybridSearch,
+        HybridServingTarget,
+        VectorEngine,
+        build_ivf,
+        embed_corpus,
+    )
+    from repro.workloads import make_corpus
+
+    if args.index:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            "--hybrid builds its vector lane over a synthetic corpus; "
+            "drop --index"
+        )
+    corpus = make_corpus(args.preset, scale=args.scale)
+    engine = BossAccelerator(corpus.index, BossConfig(k=args.k))
+    embeddings = embed_corpus(corpus)
+    ivf = build_ivf(embeddings)
+    vector_engine = VectorEngine(ivf, embeddings,
+                                 device=_live_device(args.device))
+    hybrid = HybridSearch(engine, vector_engine, mode=args.hybrid)
+    target = HybridServingTarget(hybrid)
+
+    config = ServingConfig(
+        workers=args.workers,
+        queue_capacity=args.queue,
+        admission=args.admission,
+        deadline_seconds=(args.deadline_ms / 1e3
+                          if args.deadline_ms is not None else None),
+        k=args.k,
+    )
+    requests = zipf_workload(corpus.terms_by_df(), args.queries,
+                             args.rate, unique_queries=args.unique,
+                             seed=args.seed)
+    result = QueryServer(target, config,
+                         service_time=target.service_time).serve(requests)
+    report = result.report
+    if args.json:
+        payload = dict(report.to_dict(), rate_qps=args.rate,
+                       hybrid=args.hybrid, device=args.device,
+                       clusters=ivf.num_clusters,
+                       nprobe=vector_engine.nprobe)
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"{args.queries} hybrid ({args.hybrid}) requests at "
+          f"{args.rate:g} qps offered on {args.device}, "
+          f"workers={args.workers}, queue={args.queue}, "
+          f"admission={args.admission}")
+    print(f"vector lane: {ivf.num_clusters} clusters ({ivf.codec}), "
+          f"nprobe={vector_engine.nprobe}")
+    print(f"served {report.served}, shed {report.shed} "
+          f"({report.shed_fraction:.1%})")
+    print(f"throughput: {report.achieved_qps:.1f} qps achieved vs "
+          f"{report.offered_qps:.1f} offered")
+    print(f"latency ms: p50={report.p50_latency_seconds * 1e3:.2f} "
+          f"p95={report.p95_latency_seconds * 1e3:.2f} "
+          f"p99={report.p99_latency_seconds * 1e3:.2f}")
     return 0
 
 
@@ -1366,6 +1648,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "build": _cmd_build,
         "info": _cmd_info,
         "search": _cmd_search,
+        "vsearch": _cmd_vsearch,
         "validate": _cmd_validate,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,

@@ -137,6 +137,20 @@ class Observer:
         """A rebalance move finished (published or aborted); ``report``
         is the :class:`repro.cluster.rebalance.MoveReport`."""
 
+    def on_rerank_complete(self, result) -> None:
+        """The software second stage rescored one query; ``result`` is
+        the :class:`repro.rerank.RerankedResult`."""
+
+    def on_vector_query(self, result) -> None:
+        """The ANN lane answered one query; ``result`` is the
+        :class:`repro.vector.engine.VectorSearchResult` (its traffic
+        components satisfy the bytes-conservation identity — the
+        engine raises before this hook otherwise)."""
+
+    def on_hybrid_complete(self, result) -> None:
+        """A hybrid (lexical + vector) query finished; ``result`` is
+        the :class:`repro.vector.hybrid.HybridResult`."""
+
 
 #: Shared do-nothing observer; the default everywhere.
 NULL_OBSERVER = Observer()
@@ -502,6 +516,59 @@ class RecordingObserver(Observer):
             registry.gauge(
                 "rebalance.map_version", "current shard-map generation"
             ).set(report.map_version)
+
+    def on_rerank_complete(self, result) -> None:
+        self.registry.counter(
+            "rerank.queries", "queries through the software second stage"
+        ).inc()
+        self.registry.counter(
+            "rerank.candidates", "candidates rescored by the second stage"
+        ).inc(result.candidates)
+        self.registry.counter(
+            "rerank.seconds", "modeled host seconds in the second stage"
+        ).inc(result.rerank_seconds)
+        # The stage the per-query traces were blind to: surface it in
+        # the same pipeline ledger the device stages publish into.
+        self.registry.counter(
+            "pipeline.stage_seconds", "summed modeled stage time"
+        ).inc(result.rerank_seconds, stage="rerank", engine="host")
+
+    def on_vector_query(self, result) -> None:
+        registry = self.registry
+        registry.counter(
+            "vector.queries", "ANN queries answered"
+        ).inc()
+        registry.counter(
+            "vector.demand_bytes", "layout bytes demanded by probes"
+        ).inc(result.demand_bytes)
+        moved = registry.counter(
+            "vector.bytes", "probe bytes by layout component"
+        )
+        moved.inc(result.centroid_bytes, component="centroid")
+        moved.inc(result.cluster_seq_bytes, component="cluster_seq")
+        moved.inc(result.cluster_hop_bytes, component="cluster_hop")
+        registry.counter(
+            "vector.clusters_probed", "clusters scanned across queries"
+        ).inc(result.clusters_probed)
+        registry.counter(
+            "vector.vectors_scanned", "vectors scored across queries"
+        ).inc(result.vectors_scanned)
+        registry.histogram(
+            "vector.latency_us", LATENCY_BUCKETS_US,
+            "modeled ANN query latency (us)",
+        ).observe(result.modeled_seconds * 1e6)
+
+    def on_hybrid_complete(self, result) -> None:
+        self.registry.counter(
+            "hybrid.queries", "hybrid queries, by fusion mode"
+        ).inc(mode=result.mode)
+        self.registry.counter(
+            "hybrid.candidates", "candidates rescored or fused"
+        ).inc(result.candidates, mode=result.mode)
+        self.registry.histogram(
+            "hybrid.latency_us", LATENCY_BUCKETS_US,
+            "modeled end-to-end hybrid latency (us)",
+        ).observe(result.modeled_seconds * 1e6, mode=result.mode)
 
     # ------------------------------------------------------------------
     # Registry publication

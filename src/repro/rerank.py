@@ -28,6 +28,7 @@ from repro.core.query import QueryNode
 from repro.core.result import ScoredDocument, SearchResult
 from repro.errors import ConfigurationError
 from repro.index.index import InvertedIndex
+from repro.observability.observer import NULL_OBSERVER, Observer
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,14 @@ class Reranker:
     #: Modeled host CPU cost per rescored candidate (seconds). Neural
     #: re-rankers are orders slower; this default is a light model.
     cost_per_candidate: float = 2e-6
+
+    def begin_query(self, query: QueryNode) -> None:
+        """Called once per query before any candidate is scored.
+
+        Stateless models ignore it; models with per-query state (e.g.
+        the query embedding of :class:`repro.vector.hybrid.
+        VectorReranker`) prepare it here.
+        """
 
     def score(self, features: CandidateFeatures) -> float:
         raise NotImplementedError
@@ -107,22 +116,30 @@ class TwoStageSearch:
     Parameters
     ----------
     engine:
-        Any first-stage engine (``search(query, k)`` returning
-        :class:`SearchResult` with an ``index`` property).
+        Any first-stage engine (``search(query, k)``): a monolithic
+        accelerator (any executor) exposing ``index``, or a cluster
+        root exposing its leaf ``engines`` — shards carry corpus-global
+        docIDs and document statistics, so leaf indexes resolve any
+        candidate's evidence.
     reranker:
         The second-stage model.
     first_stage_k:
         Candidates retrieved by the first stage (the paper's k, default
         1000); the final ``k`` of :meth:`search` selects from these.
+    observer:
+        Observability hook; receives ``on_rerank_complete`` per query
+        (the stage's ``rerank.*`` metrics and trace visibility).
     """
 
     def __init__(self, engine, reranker: Optional[Reranker] = None,
-                 first_stage_k: int = 1000) -> None:
+                 first_stage_k: int = 1000,
+                 observer: Observer = NULL_OBSERVER) -> None:
         if first_stage_k <= 0:
             raise ConfigurationError("first_stage_k must be positive")
         self._engine = engine
         self._reranker = reranker if reranker is not None else LinearReranker()
         self._first_stage_k = first_stage_k
+        self._observer = observer
 
     @property
     def index(self) -> InvertedIndex:
@@ -134,6 +151,7 @@ class TwoStageSearch:
         if k <= 0:
             raise ConfigurationError("k must be positive")
         first = self._engine.search(query, k=self._first_stage_k)
+        self._reranker.begin_query(first.query)
         features = self._features_for(first)
         rescored = sorted(
             (
@@ -142,7 +160,7 @@ class TwoStageSearch:
             ),
             key=lambda hit: (-hit.score, hit.doc_id),
         )
-        return RerankedResult(
+        result = RerankedResult(
             query=first.query,
             hits=rescored[:k],
             first_stage=first,
@@ -151,23 +169,58 @@ class TwoStageSearch:
             ),
             candidates=len(features),
         )
+        if self._observer.enabled:
+            self._observer.on_rerank_complete(result)
+        return result
+
+    def _index_views(self) -> List[InvertedIndex]:
+        """The index (or leaf shard indexes) candidate evidence lives in.
+
+        A cluster root has no single ``index``; its leaves do, and every
+        shard is built with the corpus-global document table
+        (:func:`repro.cluster.sharding.shard_documents`), so any leaf
+        scorer can resolve any docID's length and each docID's postings
+        live in exactly one leaf.
+        """
+        index = getattr(self._engine, "index", None)
+        if index is not None:
+            return [index]
+        leaves = getattr(self._engine, "engines", None)
+        if leaves:
+            return [leaf.index for leaf in leaves]
+        raise ConfigurationError(
+            "first-stage engine exposes neither 'index' nor 'engines'"
+        )
 
     def _features_for(self,
                       first: SearchResult) -> List[CandidateFeatures]:
-        index = self._engine.index
+        from repro.core.cursor import ListCursor
+        from repro.scm.traffic import TrafficCounter
+        from repro.sim.metrics import WorkCounters
+
+        views = self._index_views()
         terms = list(dict.fromkeys(first.query.terms()))
         # Membership probes over the candidates, per term, monotone in
-        # docID (candidates sorted) — cheap host-side lookups.
+        # docID (candidates sorted): one galloping cursor pass per
+        # (term, shard) instead of decoding whole posting lists —
+        # metadata-guided skips fetch only the blocks candidates land
+        # in. Throwaway counters: these are host-side probes, not
+        # device traffic.
         candidate_ids = sorted(hit.doc_id for hit in first.hits)
         matched: Dict[int, int] = {doc: 0 for doc in candidate_ids}
         for term in terms:
-            postings = {
-                p.doc_id for p in index.posting_list(term).decode_all()
-            }
-            for doc in candidate_ids:
-                if doc in postings:
-                    matched[doc] += 1
-        scorer = index.scorer
+            for view in views:
+                if term not in view:
+                    continue
+                cursor = ListCursor(view.posting_list(term),
+                                    WorkCounters(), TrafficCounter())
+                for doc in candidate_ids:
+                    landed = cursor.advance_to(doc)
+                    if landed is None:
+                        break
+                    if landed == doc:
+                        matched[doc] += 1
+        scorer = views[0].scorer
         return [
             CandidateFeatures(
                 doc_id=hit.doc_id,

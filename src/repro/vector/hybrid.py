@@ -1,0 +1,259 @@
+"""Hybrid retrieval: lexical candidates + vector evidence, two ways.
+
+**Rerank mode** is the paper's own division of labor taken one step
+further: BOSS produces the first-stage BM25 top-k1 and the software
+second stage (:class:`repro.rerank.TwoStageSearch`) rescores it — here
+with :class:`VectorReranker`, cosine similarity between each
+candidate's stored embedding and the query embedding. Candidate doc
+vectors are random single-vector loads (``LD Score / random``), the
+access shape the IVF engine's sequential cluster scans exist to avoid —
+which is exactly the rerank-vs-scan bandwidth trade the hybrid lane is
+built to expose.
+
+**RRF mode** runs both retrievers independently and fuses their
+*rankings* with Reciprocal Rank Fusion::
+
+    score(d) = sum over rankings r of  1 / (C + rank_r(d))
+
+(C = 60 by convention; rank is 1-based; ties break on doc_id). RRF is
+scale-free — it never compares a BM25 score to a cosine — which is why
+it is the standard baseline for hybrid fusion.
+
+:class:`HybridServingTarget` adapts either mode to the serving layer's
+``search(expression, k)`` + ``service_time`` contract, so hybrid
+traffic rides the existing admission/SLO/planner timelines unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.result import ScoredDocument
+from repro.errors import ConfigurationError, QueryError
+from repro.observability.observer import NULL_OBSERVER, Observer
+from repro.rerank import CandidateFeatures, Reranker, TwoStageSearch
+from repro.scm.device import MemoryDeviceModel
+from repro.scm.traffic import AccessClass, AccessPattern, TrafficCounter
+from repro.vector.engine import VectorEngine, VectorSearchResult
+
+HYBRID_MODES = ("rerank", "rrf")
+
+#: Conventional RRF dampening constant.
+RRF_C = 60.0
+
+
+class VectorReranker(Reranker):
+    """Second-stage scorer: cosine(query embedding, doc embedding).
+
+    Each scored candidate loads one stored doc vector from the pool —
+    ``dim * 4`` bytes of ``LD Score / random`` traffic, accumulated in
+    :attr:`last_traffic` per query (reset by :meth:`begin_query`).
+    ``weight_lexical`` optionally blends the first-stage BM25 score
+    back in (0 = pure vector rescoring).
+    """
+
+    #: Vector rescoring is heavier host work than the linear model.
+    cost_per_candidate: float = 5e-6
+
+    def __init__(self, embeddings, device: MemoryDeviceModel,
+                 weight_lexical: float = 0.0) -> None:
+        self._embeddings = embeddings
+        self._device = device
+        self.weight_lexical = weight_lexical
+        self._query_vec: Optional[np.ndarray] = None
+        self.last_traffic = TrafficCounter()
+
+    def begin_query(self, query) -> None:
+        self.last_traffic = TrafficCounter()
+        try:
+            self._query_vec = self._embeddings.query_vector(query.terms())
+        except QueryError:
+            # No query term is known to the embedding model: degrade to
+            # the first-stage order rather than failing the query.
+            self._query_vec = None
+
+    def score(self, features: CandidateFeatures) -> float:
+        lexical = self.weight_lexical * features.first_stage_score
+        if self._query_vec is None:
+            return lexical
+        nbytes = self._embeddings.dim * 4
+        self.last_traffic.record(AccessClass.LD_SCORE,
+                                 AccessPattern.RANDOM, nbytes)
+        doc_vec = self._embeddings.doc_vectors[features.doc_id]
+        return lexical + float(doc_vec @ self._query_vec)
+
+    @property
+    def last_read_seconds(self) -> float:
+        """Modeled device seconds for the query's doc-vector loads."""
+        nbytes = self.last_traffic.bytes_for(AccessClass.LD_SCORE)
+        return self._device.read_time(nbytes, AccessPattern.RANDOM)
+
+
+def rrf_fuse(rankings: Sequence[Sequence[int]], k: int,
+             c: float = RRF_C) -> List[ScoredDocument]:
+    """Reciprocal Rank Fusion over docID rankings (deterministic)."""
+    if k <= 0:
+        raise ConfigurationError("k must be positive")
+    if c <= 0:
+        raise ConfigurationError("RRF constant must be positive")
+    scores: dict = {}
+    for ranking in rankings:
+        for rank, doc_id in enumerate(ranking, start=1):
+            scores[doc_id] = scores.get(doc_id, 0.0) + 1.0 / (c + rank)
+    fused = sorted(
+        (ScoredDocument(doc_id, score) for doc_id, score in scores.items()),
+        key=lambda hit: (-hit.score, hit.doc_id),
+    )
+    return fused[:k]
+
+
+@dataclass
+class HybridResult:
+    """Outcome of one hybrid query, with both retrievers' ledgers."""
+
+    expression: str
+    mode: str
+    hits: List[ScoredDocument]
+    #: First-stage / lexical-side result (engine ``SearchResult``).
+    lexical: object
+    #: The ANN side (RRF mode only; ``None`` in rerank mode, where the
+    #: vector evidence arrives as per-candidate loads instead).
+    vector: Optional[VectorSearchResult]
+    #: Modeled host seconds in the second stage (rerank mode).
+    rerank_seconds: float = 0.0
+    #: Candidates rescored (rerank mode) or fused (RRF mode).
+    candidates: int = 0
+    #: End-to-end modeled seconds: lexical device time + vector device
+    #: time + host rerank time.
+    modeled_seconds: float = 0.0
+
+
+class HybridSearch:
+    """Lexical + vector retrieval, composed either way.
+
+    Parameters
+    ----------
+    engine:
+        The lexical first stage (anything with ``search(query, k)``).
+    vector_engine:
+        The ANN lane (:class:`~repro.vector.engine.VectorEngine`).
+    mode:
+        ``"rerank"`` (BM25 top-k1 -> vector rescoring) or ``"rrf"``
+        (independent retrieval, rank fusion).
+    first_stage_k:
+        Candidate depth: first-stage k in rerank mode, per-retriever
+        depth in RRF mode.
+    nprobe:
+        Override for the vector engine's probe width (RRF mode).
+    """
+
+    def __init__(self, engine, vector_engine: VectorEngine,
+                 mode: str = "rerank", first_stage_k: int = 100,
+                 nprobe: Optional[int] = None, rrf_c: float = RRF_C,
+                 observer: Observer = NULL_OBSERVER) -> None:
+        if mode not in HYBRID_MODES:
+            raise ConfigurationError(
+                f"unknown hybrid mode {mode!r}; known: "
+                f"{', '.join(HYBRID_MODES)}"
+            )
+        if first_stage_k <= 0:
+            raise ConfigurationError("first_stage_k must be positive")
+        self.mode = mode
+        self._engine = engine
+        self._vector_engine = vector_engine
+        self._first_stage_k = first_stage_k
+        self._nprobe = nprobe
+        self._rrf_c = rrf_c
+        self._observer = observer
+        self._device = vector_engine.device
+        if mode == "rerank":
+            self._reranker = VectorReranker(
+                vector_engine.embeddings, device=vector_engine.device
+            )
+            self._two_stage = TwoStageSearch(
+                engine, self._reranker, first_stage_k=first_stage_k,
+                observer=observer,
+            )
+
+    def search(self, query, k: int = 10) -> HybridResult:
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        if self.mode == "rerank":
+            result = self._rerank_search(query, k)
+        else:
+            result = self._rrf_search(query, k)
+        if self._observer.enabled:
+            self._observer.on_hybrid_complete(result)
+        return result
+
+    def _rerank_search(self, query, k: int) -> HybridResult:
+        reranked = self._two_stage.search(query, k=k)
+        lexical = reranked.first_stage
+        modeled = (
+            self._device.service_time(lexical.traffic)
+            + reranked.rerank_seconds
+            + self._reranker.last_read_seconds
+        )
+        return HybridResult(
+            expression=str(reranked.query),
+            mode="rerank",
+            hits=reranked.hits,
+            lexical=lexical,
+            vector=None,
+            rerank_seconds=reranked.rerank_seconds,
+            candidates=reranked.candidates,
+            modeled_seconds=modeled,
+        )
+
+    def _rrf_search(self, query, k: int) -> HybridResult:
+        lexical = self._engine.search(query, k=self._first_stage_k)
+        vector = self._vector_engine.search(
+            query, k=self._first_stage_k, nprobe=self._nprobe
+        )
+        hits = rrf_fuse(
+            [
+                [hit.doc_id for hit in lexical.hits],
+                [hit.doc_id for hit in vector.hits],
+            ],
+            k, c=self._rrf_c,
+        )
+        fused = len(
+            {hit.doc_id for hit in lexical.hits}
+            | {hit.doc_id for hit in vector.hits}
+        )
+        modeled = (
+            self._device.service_time(lexical.traffic)
+            + vector.modeled_seconds
+        )
+        return HybridResult(
+            expression=str(lexical.query),
+            mode="rrf",
+            hits=hits,
+            lexical=lexical,
+            vector=vector,
+            candidates=fused,
+            modeled_seconds=modeled,
+        )
+
+
+class HybridServingTarget:
+    """Serving-layer adapter: ``search(expression, k)`` + deterministic
+    ``service_time`` so hybrid runs ride the virtual timeline."""
+
+    def __init__(self, hybrid: HybridSearch) -> None:
+        self._hybrid = hybrid
+
+    @property
+    def hybrid(self) -> HybridSearch:
+        return self._hybrid
+
+    def search(self, expression, k: int = 10) -> HybridResult:
+        return self._hybrid.search(expression, k=k)
+
+    def service_time(self, request, result) -> float:
+        """Pass to :class:`repro.serving.server.QueryServer` as its
+        ``service_time`` so runs are workload-pure."""
+        return result.modeled_seconds

@@ -467,3 +467,104 @@ class TestIngestCommand:
         assert main(["ingest", "--docs", "20", "--buffer", "16",
                      "--wal-dir", str(wal_dir)]) == 0
         assert "recovered:" in capsys.readouterr().out
+
+
+class TestVsearch:
+    ARGS = ["vsearch", "--scale", "0.05", "--queries", "6"]
+
+    def test_query_set_report(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "clusters (fp32)" in out
+        assert "recall@10" in out
+        assert "p99=" in out
+
+    def test_query_set_json(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--codec", "int8", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["codec"] == "int8"
+        assert record["queries"] == 6
+        assert 0.0 <= record["recall_at_10"] <= 1.0
+        assert record["packed_bytes"] > 0
+
+    def test_single_query_conserved(self, capsys):
+        assert main(["vsearch", "--scale", "0.05", "--query",
+                     '"term0001" OR "term0005"']) == 0
+        out = capsys.readouterr().out
+        assert "B demand (conserved)" in out
+        assert "probed" in out
+
+    def test_single_query_json_has_ledger(self, capsys):
+        import json
+
+        assert main(["vsearch", "--scale", "0.05", "--query",
+                     '"term0002"', "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert (
+            record["centroid_bytes"]
+            + record["cluster_seq_bytes"]
+            + record["cluster_hop_bytes"]
+            == record["demand_bytes"]
+        )
+        assert record["brute_force"]
+
+    def test_save_and_reload_ivf(self, tmp_path, capsys):
+        path = tmp_path / "lane.bossv"
+        assert main(self.ARGS + ["--save", str(path)]) == 0
+        assert path.exists()
+        capsys.readouterr()
+        assert main(self.ARGS + ["--ivf", str(path)]) == 0
+        assert "recall@10" in capsys.readouterr().out
+
+
+class TestSearchHybrid:
+    def test_rerank_mode(self, index_file, capsys):
+        assert main(["search", "--index", str(index_file), "--query",
+                     '"bandwidth" OR "memory"', "--hybrid", "rerank"]) == 0
+        out = capsys.readouterr().out
+        assert "[hybrid:rerank]" in out
+        assert "candidates rescored" in out
+        assert "modeled end-to-end latency" in out
+
+    def test_rrf_mode(self, index_file, capsys):
+        assert main(["search", "--index", str(index_file), "--query",
+                     '"bandwidth" OR "memory"', "--hybrid", "rrf",
+                     "--codec", "int8"]) == 0
+        out = capsys.readouterr().out
+        assert "[hybrid:rrf]" in out
+        assert "ANN probed" in out
+
+    def test_hybrid_rejects_other_engines(self, index_file):
+        assert main(["search", "--index", str(index_file), "--query",
+                     '"memory"', "--hybrid", "rerank",
+                     "--engine", "iiu"]) == 2
+
+
+class TestServeHybrid:
+    ARGS = ["serve", "--hybrid", "rrf", "--scale", "0.05",
+            "--queries", "16", "--rate", "400"]
+
+    def test_serve_hybrid_report(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "hybrid (rrf) requests" in out
+        assert "vector lane:" in out
+        assert "served 16" in out
+
+    def test_serve_hybrid_json(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["hybrid"] == "rrf"
+        assert record["clusters"] > 0
+        assert record["served"] + record["shed"] == 16
+
+    def test_serve_hybrid_rejects_index(self, tmp_path):
+        assert main(["serve", "--hybrid", "rerank",
+                     "--index", str(tmp_path / "x.boss")]) == 2
+
+    def test_serve_hybrid_rejects_planner(self):
+        assert main(self.ARGS + ["--planner"]) == 2

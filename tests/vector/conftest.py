@@ -1,0 +1,42 @@
+"""Shared fixtures for the vector lane: one small corpus, both codecs."""
+
+import pytest
+
+from repro.vector import VectorEngine, build_ivf, embed_corpus
+from repro.workloads.corpus import make_corpus
+
+SCALE = 0.05
+SEED = 1
+
+#: Queries phrased over preset terms; term0000 is the most popular.
+QUERIES = [
+    '"term0001"',
+    '"term0003" AND "term0010"',
+    '"term0002" OR "term0007"',
+    '("term0004" OR "term0012") AND "term0001"',
+]
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return make_corpus("ccnews-like", scale=SCALE, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def embeddings(corpus):
+    return embed_corpus(corpus)
+
+
+@pytest.fixture(scope="session")
+def ivf_fp32(embeddings):
+    return build_ivf(embeddings, codec="fp32")
+
+
+@pytest.fixture(scope="session")
+def ivf_int8(embeddings):
+    return build_ivf(embeddings, codec="int8")
+
+
+@pytest.fixture(scope="session")
+def engine(ivf_fp32, embeddings):
+    return VectorEngine(ivf_fp32, embeddings)

@@ -1,0 +1,183 @@
+"""Hybrid lane: vector reranking, RRF fusion, serving adapter."""
+
+import pytest
+
+from repro.core import BossAccelerator, BossConfig
+from repro.errors import ConfigurationError
+from repro.rerank import TwoStageSearch
+from repro.serving import QueryServer, ServingConfig, TraceArrivals, build_requests
+from repro.vector import (
+    HybridSearch,
+    HybridServingTarget,
+    VectorEngine,
+    VectorReranker,
+    rrf_fuse,
+)
+from repro.vector.hybrid import RRF_C
+
+from .conftest import QUERIES
+
+
+@pytest.fixture(scope="module")
+def lexical(corpus):
+    return BossAccelerator(corpus.index, BossConfig(k=100))
+
+
+@pytest.fixture(scope="module")
+def hybrid_rerank(lexical, engine):
+    return HybridSearch(lexical, engine, mode="rerank", first_stage_k=50)
+
+
+@pytest.fixture(scope="module")
+def hybrid_rrf(lexical, engine):
+    return HybridSearch(lexical, engine, mode="rrf", first_stage_k=50)
+
+
+class TestRRFFusion:
+    def test_agreement_wins(self):
+        fused = rrf_fuse([[1, 2, 3], [2, 1, 4]], k=4)
+        assert fused[0].doc_id in (1, 2)
+        # Doc 3 and 4 each appear once at rank 3; tie breaks on doc_id.
+        tail = [h.doc_id for h in fused[2:]]
+        assert tail == sorted(tail)
+
+    def test_scores_are_reciprocal_ranks(self):
+        fused = rrf_fuse([[7], [7]], k=1)
+        assert fused[0].score == pytest.approx(2.0 / (RRF_C + 1))
+
+    def test_deterministic(self):
+        rankings = [[5, 3, 9, 1], [9, 5, 2]]
+        assert rrf_fuse(rankings, k=5) == rrf_fuse(rankings, k=5)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            rrf_fuse([[1]], k=0)
+        with pytest.raises(ConfigurationError):
+            rrf_fuse([[1]], k=1, c=0)
+
+
+class TestVectorReranker:
+    def test_reorders_by_cosine(self, lexical, engine):
+        reranker = VectorReranker(engine.embeddings, device=engine.device)
+        pipeline = TwoStageSearch(lexical, reranker, first_stage_k=50)
+        result = pipeline.search('"term0001" OR "term0003"', k=10)
+        assert len(result.hits) == 10
+        scores = [h.score for h in result.hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_charges_one_load_per_candidate(self, lexical, engine):
+        reranker = VectorReranker(engine.embeddings, device=engine.device)
+        pipeline = TwoStageSearch(lexical, reranker, first_stage_k=50)
+        result = pipeline.search('"term0002"', k=10)
+        from repro.scm.traffic import AccessClass
+
+        loaded = reranker.last_traffic.bytes_for(AccessClass.LD_SCORE)
+        assert loaded == result.candidates * engine.embeddings.dim * 4
+        assert reranker.last_read_seconds > 0
+
+    def test_unknown_query_degrades_to_lexical(self, engine):
+        """No known term -> no query vector -> first-stage order kept."""
+        reranker = VectorReranker(engine.embeddings, device=engine.device,
+                                  weight_lexical=1.0)
+        from repro.core.query import parse_query
+
+        reranker.begin_query(parse_query('"term0001"'))
+        assert reranker._query_vec is not None
+        # A synthetic query node over unknown terms degrades.
+        class FakeNode:
+            def terms(self):
+                return ["zzz-unknown"]
+
+        reranker.begin_query(FakeNode())
+        assert reranker._query_vec is None
+        from repro.rerank import CandidateFeatures
+
+        feats = CandidateFeatures(3, 2.5, 1, 1, 100)
+        assert reranker.score(feats) == pytest.approx(2.5)
+        assert reranker.last_read_seconds == 0.0
+
+    def test_lexical_blend(self, engine):
+        from repro.core.query import parse_query
+        from repro.rerank import CandidateFeatures
+
+        pure = VectorReranker(engine.embeddings, device=engine.device)
+        blend = VectorReranker(engine.embeddings, device=engine.device,
+                               weight_lexical=1.0)
+        node = parse_query('"term0001"')
+        pure.begin_query(node)
+        blend.begin_query(node)
+        feats = CandidateFeatures(0, 4.0, 1, 1, 100)
+        assert blend.score(feats) == pytest.approx(pure.score(feats) + 4.0)
+
+
+class TestHybridSearch:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_rerank_mode(self, hybrid_rerank, query):
+        result = hybrid_rerank.search(query, k=10)
+        assert result.mode == "rerank"
+        assert result.vector is None
+        assert result.candidates == len(result.lexical.hits)
+        assert result.modeled_seconds > 0
+        first_ids = {h.doc_id for h in result.lexical.hits}
+        assert all(h.doc_id in first_ids for h in result.hits)
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_rrf_mode(self, hybrid_rrf, query):
+        result = hybrid_rrf.search(query, k=10)
+        assert result.mode == "rrf"
+        assert result.vector is not None
+        lexical_ids = {h.doc_id for h in result.lexical.hits}
+        vector_ids = {h.doc_id for h in result.vector.hits}
+        assert all(
+            h.doc_id in (lexical_ids | vector_ids) for h in result.hits
+        )
+        assert result.modeled_seconds >= result.vector.modeled_seconds
+
+    def test_rrf_surfaces_vector_only_docs_possible(self, hybrid_rrf):
+        """Fused candidate pool is the union of both retrievers."""
+        result = hybrid_rrf.search('"term0001"', k=10)
+        union = (
+            {h.doc_id for h in result.lexical.hits}
+            | {h.doc_id for h in result.vector.hits}
+        )
+        assert result.candidates == len(union)
+
+    def test_deterministic(self, lexical, engine):
+        a = HybridSearch(lexical, engine, mode="rrf").search(QUERIES[1])
+        b = HybridSearch(lexical, engine, mode="rrf").search(QUERIES[1])
+        assert [(h.doc_id, h.score) for h in a.hits] == [
+            (h.doc_id, h.score) for h in b.hits
+        ]
+
+    def test_unknown_mode_rejected(self, lexical, engine):
+        with pytest.raises(ConfigurationError):
+            HybridSearch(lexical, engine, mode="linear")
+
+    def test_invalid_k_rejected(self, hybrid_rerank):
+        with pytest.raises(ConfigurationError):
+            hybrid_rerank.search('"term0001"', k=0)
+
+
+class TestServingAdapter:
+    @pytest.mark.parametrize("mode", ["rerank", "rrf"])
+    def test_rides_query_server(self, lexical, engine, mode):
+        hybrid = HybridSearch(lexical, engine, mode=mode,
+                              first_stage_k=30)
+        target = HybridServingTarget(hybrid)
+        times = [i * 0.01 for i in range(8)]
+        requests = build_requests(
+            [QUERIES[i % len(QUERIES)] for i in range(8)],
+            TraceArrivals(times),
+        )
+        server = QueryServer(target, ServingConfig(),
+                             service_time=target.service_time)
+        outcome = server.serve(requests)
+        assert len(outcome.served_results()) == 8
+        for result in outcome.served_results():
+            assert result.mode == mode
+            assert result.hits
+
+    def test_service_time_is_modeled_seconds(self, hybrid_rerank):
+        target = HybridServingTarget(hybrid_rerank)
+        result = target.search('"term0001"', k=5)
+        assert target.service_time(None, result) == result.modeled_seconds
